@@ -1,0 +1,278 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// at the quick experiment scale. `go test -bench=. -benchmem` exercises the
+// entire pipeline; cmd/spequlos-bench produces the full-scale artifacts.
+package spequlos
+
+import (
+	"testing"
+	"time"
+
+	"spequlos/internal/bot"
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/experiments"
+	"spequlos/internal/middleware"
+	"spequlos/internal/service"
+)
+
+// benchProfile is the quick profile with a single offset so individual
+// benchmark iterations stay comparable.
+func benchProfile() experiments.Profile {
+	p := experiments.Quick()
+	p.Offsets = 1
+	return p
+}
+
+// benchSpec narrows the matrix for per-figure benchmarks: one volatile
+// desktop grid, one best-effort grid, two BoT classes.
+func benchSpec(strategies ...core.Strategy) experiments.MatrixSpec {
+	return experiments.MatrixSpec{
+		Traces:     []string{"seti", "g5klyo"},
+		Bots:       []string{"SMALL", "BIG"},
+		Strategies: strategies,
+	}
+}
+
+func BenchmarkFigure1ExecutionProfile(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		f := experiments.BuildFigure1(p)
+		if len(f.Series) == 0 {
+			b.Fatal("empty curve")
+		}
+	}
+}
+
+func BenchmarkFigure2TailSlowdownCDF(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(p, benchSpec())
+		f := experiments.BuildFigure2(m.BaseResults())
+		if len(f.Slowdowns) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkTable1TailFractions(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(p, benchSpec())
+		t1 := experiments.BuildTable1(m.BaseResults())
+		if len(t1.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2TraceStatistics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.BuildTable2(2, uint64(i)+1)
+		if len(rows) != 6 {
+			b.Fatal("missing traces")
+		}
+	}
+}
+
+func BenchmarkTable3WorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// One BoT of each class at paper scale (1000 / 10000 / ~1000 tasks).
+		for _, class := range bot.Classes() {
+			w := class.Generate("bench", uint64(i)+1)
+			if err := w.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure3ServiceSequence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runServiceSequence(b)
+	}
+}
+
+func BenchmarkFigure4TailRemovalEfficiency(b *testing.B) {
+	p := benchProfile()
+	// Two contrasting combinations instead of all 18, to keep iterations
+	// minute-scale; the full sweep lives in cmd/spequlos-bench.
+	st1 := core.DefaultStrategy()
+	st2, _ := core.StrategyByLabel("9A-G-F")
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(p, benchSpec(st1, st2))
+		f := experiments.BuildFigure4(m)
+		if len(f.TRE) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure5CreditConsumption(b *testing.B) {
+	p := benchProfile()
+	st := core.DefaultStrategy()
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(p, benchSpec(st))
+		f := experiments.BuildFigure5(m)
+		if len(f.SpentFraction) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure6CompletionTimes(b *testing.B) {
+	p := benchProfile()
+	st := core.DefaultStrategy()
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(p, benchSpec(st))
+		f := experiments.BuildFigure6(m, st.Label())
+		if len(f.Cells) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure7Stability(b *testing.B) {
+	p := benchProfile()
+	st := core.DefaultStrategy()
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(p, benchSpec(st))
+		f := experiments.BuildFigure7(m, st.Label())
+		if len(f.NoSpeq) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkTable4PredictionSuccess(b *testing.B) {
+	p := benchProfile()
+	p.Offsets = 2 // success rates need a few executions per environment
+	st := core.DefaultStrategy()
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(p, benchSpec(st))
+		t4 := experiments.BuildTable4(m, st.Label())
+		if t4.Overall < 0 || t4.Overall > 1 {
+			b.Fatal("invalid success rate")
+		}
+	}
+}
+
+func BenchmarkTable5EDGIDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t5 := experiments.BuildTable5(2, 6, uint64(i)+1)
+		if t5.LALTasks == 0 {
+			b.Fatal("no tasks executed")
+		}
+	}
+}
+
+func BenchmarkSingleRunXWHEPSeti(b *testing.B) {
+	b.ReportAllocs()
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		res := Simulate(Scenario{
+			Profile: p, Middleware: "XWHEP", TraceName: "seti", BotClass: "SMALL",
+			Offset: i,
+		})
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkSingleRunBOINCSeti(b *testing.B) {
+	b.ReportAllocs()
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		res := Simulate(Scenario{
+			Profile: p, Middleware: "BOINC", TraceName: "seti", BotClass: "SMALL",
+			Offset: i,
+		})
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// scriptedBenchDG drives the HTTP service benchmark.
+type scriptedBenchDG struct{ done int }
+
+func (d *scriptedBenchDG) Progress(string) (middleware.Progress, error) {
+	return middleware.Progress{Size: 100, Arrived: 100, Completed: d.done,
+		EverAssigned: 100, Running: 100 - d.done}, nil
+}
+func (d *scriptedBenchDG) WorkerURL() string { return "http://dg.bench" }
+
+// runServiceSequence executes the Fig 3 interaction sequence over HTTP.
+func runServiceSequence(b *testing.B) {
+	dg := &scriptedBenchDG{}
+	stack := service.NewTestStack(service.StackConfig{
+		Strategy: core.DefaultStrategy(),
+		Registry: cloud.NewRegistry(cloud.NewMockEC2()),
+		DG:       dg,
+	})
+	defer stack.Close()
+	now := time.Unix(1_700_000_000, 0)
+	stack.Scheduler.Now = func() time.Time { return now }
+
+	if err := stack.CreditClient.Deposit("u", 1000); err != nil {
+		b.Fatal(err)
+	}
+	if err := stack.Scheduler.RegisterQoS(service.QoSRequest{
+		User: "u", BatchID: "bench", EnvKey: "e", Size: 100,
+		Credits: 100, Provider: "ec2", Image: "img",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for _, done := range []int{20, 50, 91, 95, 100} {
+		dg.done = done
+		now = now.Add(time.Minute)
+		if err := stack.Scheduler.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st, err := stack.Scheduler.Status("bench")
+	if err != nil || !st.Finalized {
+		b.Fatalf("sequence incomplete: %+v %v", st, err)
+	}
+}
+
+func BenchmarkAblationCreditFraction(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		pts := experiments.CreditFractionSweep(p, []float64{0.05, 0.10})
+		if len(pts) != 2 {
+			b.Fatal("sweep broken")
+		}
+	}
+}
+
+func BenchmarkAblationMonitorPeriod(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		pts := experiments.MonitorPeriodSweep(p, []float64{60, 300})
+		if len(pts) != 2 {
+			b.Fatal("sweep broken")
+		}
+	}
+}
+
+func BenchmarkAblationCapacityTrigger(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		pts := experiments.TriggerAblation(p)
+		if len(pts) != 2 {
+			b.Fatal("ablation broken")
+		}
+	}
+}
+
+func BenchmarkExtensionMiddlewareComparison(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.CompareMiddleware(p, []string{"seti"}, "BIG")
+		if len(rows) != 3 {
+			b.Fatal("comparison broken")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command spequlos-bench regenerates every table and figure of the paper's
+// evaluation (§4) and writes them under -out (default results/):
+//
+//	figure1.txt            example execution profile with tail annotations
+//	figure2.{txt,csv}      tail slowdown CDF per middleware
+//	table1.{txt,csv}       tail fractions per BE-DCI class
+//	table2.{txt,csv}       trace statistics vs published values
+//	figure4.{txt,csv}      Tail Removal Efficiency CCDF per strategy
+//	figure5.{txt,csv}      credit consumption per strategy
+//	figure6.txt            completion times with/without SpeQuloS (9C-C-R)
+//	figure7.{txt,csv}      execution stability
+//	table4.{txt,csv}       prediction success rates
+//	summary.txt            everything concatenated
+//
+// The -profile flag selects quick / standard / full scale (see
+// internal/experiments); -strategies limits the Fig 4/5 sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spequlos/internal/core"
+	"spequlos/internal/experiments"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "standard", "experiment profile: quick standard full")
+		out     = flag.String("out", "results", "output directory")
+		strats  = flag.String("strategies", "all", "comma-separated strategy labels for the sweep, or 'all'")
+		verbose = flag.Bool("v", false, "log per-scenario progress")
+	)
+	flag.Parse()
+
+	p, err := experiments.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	var strategies []core.Strategy
+	if *strats == "all" {
+		strategies = core.AllStrategies()
+	} else {
+		for _, label := range strings.Split(*strats, ",") {
+			st, err := core.StrategyByLabel(strings.TrimSpace(label))
+			if err != nil {
+				fatal(err)
+			}
+			strategies = append(strategies, st)
+		}
+	}
+	defaultLabel := core.DefaultStrategy().Label()
+	hasDefault := false
+	for _, st := range strategies {
+		if st.Label() == defaultLabel {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		strategies = append(strategies, core.DefaultStrategy())
+	}
+
+	spec := experiments.MatrixSpec{Strategies: strategies}
+	if *verbose {
+		spec.Log = os.Stderr
+	}
+
+	start := time.Now()
+	fmt.Printf("running %s matrix: 2 middleware × 6 traces × 3 BoT classes × %d offsets × %d strategies…\n",
+		p.Name, p.Offsets, len(strategies))
+	m := experiments.RunMatrix(p, spec)
+	fmt.Printf("matrix done in %v (%d cells)\n", time.Since(start).Round(time.Second), len(m.Pairs))
+
+	var summary strings.Builder
+	emit := func(name, text, csv string) {
+		if err := os.WriteFile(filepath.Join(*out, name+".txt"), []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		if csv != "" {
+			if err := os.WriteFile(filepath.Join(*out, name+".csv"), []byte(csv), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		summary.WriteString(text)
+		summary.WriteString("\n")
+		fmt.Println(text)
+	}
+	emitSVG := func(name string, chart interface{ WriteSVG(io.Writer) error }) {
+		path := filepath.Join(*out, name+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := chart.WriteSVG(f); err != nil {
+			// Narrowed sweeps leave some panels empty; skip them.
+			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", name, err)
+			os.Remove(path)
+		}
+	}
+
+	f1 := experiments.BuildFigure1(p)
+	emit("figure1", f1.Render(), "")
+	emitSVG("figure1", experiments.Figure1Chart(f1))
+
+	bases := m.BaseResults()
+	f2 := experiments.BuildFigure2(bases)
+	emit("figure2", f2.Render(), figure2CSV(f2))
+	emitSVG("figure2", experiments.Figure2Chart(f2))
+
+	t1 := experiments.BuildTable1(bases)
+	emit("table1", t1.Render(), "")
+
+	t2rows := experiments.BuildTable2(7, 20260611)
+	emit("table2", experiments.RenderTable2(t2rows), "")
+
+	f4 := experiments.BuildFigure4(m)
+	emit("figure4", f4.Render(), "")
+	for _, deploy := range []string{"F", "R", "D"} {
+		emitSVG("figure4"+strings.ToLower(deploy), experiments.Figure4Chart(f4, deploy))
+	}
+
+	f5 := experiments.BuildFigure5(m)
+	emit("figure5", f5.Render(), "")
+	emitSVG("figure5", experiments.Figure5Chart(f5))
+
+	f6 := experiments.BuildFigure6(m, defaultLabel)
+	emit("figure6", f6.Render(), "")
+	for _, mw := range experiments.Middlewares() {
+		for _, bc := range experiments.BotClasses() {
+			if len(f6.Cells[mw][bc]) > 0 {
+				emitSVG("figure6-"+strings.ToLower(mw)+"-"+strings.ToLower(bc),
+					experiments.Figure6Chart(f6, mw, bc))
+			}
+		}
+	}
+
+	f7 := experiments.BuildFigure7(m, defaultLabel)
+	emit("figure7", f7.Render(), "")
+	for _, mw := range experiments.Middlewares() {
+		emitSVG("figure7-"+strings.ToLower(mw), experiments.Figure7Chart(f7, mw))
+	}
+
+	t4 := experiments.BuildTable4(m, defaultLabel)
+	emit("table4", t4.Render(), "")
+
+	t5 := experiments.BuildTable5(4, 12, 20260611)
+	emit("table5", t5.Render(), "")
+
+	if err := os.WriteFile(filepath.Join(*out, "summary.txt"), []byte(summary.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("all artifacts written to %s/ in %v\n", *out, time.Since(start).Round(time.Second))
+}
+
+func figure2CSV(f experiments.Figure2) string {
+	var b strings.Builder
+	b.WriteString("slowdown,boinc_cdf,xwhep_cdf\n")
+	for _, s := range []float64{1, 1.1, 1.2, 1.33, 1.5, 1.75, 2, 2.5, 3, 4, 5, 7.5, 10, 15, 20, 50, 100} {
+		fmt.Fprintf(&b, "%g,%g,%g\n", s,
+			f.FractionBelow(experiments.BOINC, s), f.FractionBelow(experiments.XWHEP, s))
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spequlos-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command spequlos-sim runs one BoT execution scenario — baseline and
+// optionally with SpeQuloS — and prints the run report.
+//
+// Usage:
+//
+//	spequlos-sim -middleware XWHEP -trace seti -bot SMALL -strategy 9C-C-R
+//
+// The -strategy flag accepts the paper's combination labels (9C/9A/D for
+// the trigger, G/C for sizing, F/R/D for deployment), or "none" for a
+// baseline-only run, or "all" to compare every combination.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spequlos/internal/core"
+	"spequlos/internal/experiments"
+)
+
+func main() {
+	var (
+		mw       = flag.String("middleware", "XWHEP", "middleware: BOINC or XWHEP")
+		tn       = flag.String("trace", "seti", "BE-DCI trace: seti nd g5klyo g5kgre spot10 spot100")
+		bc       = flag.String("bot", "SMALL", "BoT class: SMALL BIG RANDOM")
+		strategy = flag.String("strategy", "9C-C-R", "strategy label, 'none' or 'all'")
+		profile  = flag.String("profile", "standard", "experiment profile: quick standard full")
+		offset   = flag.Int("offset", 0, "submission offset index (changes the seed)")
+	)
+	flag.Parse()
+
+	p, err := experiments.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	sc := experiments.Scenario{
+		Profile: p, Middleware: *mw, TraceName: *tn, BotClass: *bc, Offset: *offset,
+	}
+	if _, err := experiments.TraceSource(*tn); err != nil {
+		fatal(err)
+	}
+
+	base := experiments.Run(sc)
+	report("baseline", base)
+
+	var strategies []core.Strategy
+	switch *strategy {
+	case "none":
+	case "all":
+		strategies = core.AllStrategies()
+	default:
+		st, err := core.StrategyByLabel(*strategy)
+		if err != nil {
+			fatal(err)
+		}
+		strategies = []core.Strategy{st}
+	}
+	for _, st := range strategies {
+		st := st
+		scs := sc
+		scs.Strategy = &st
+		res := experiments.Run(scs)
+		report(st.Label(), res)
+		if base.Completed && res.Completed && res.CompletionTime > 0 {
+			fmt.Printf("  speedup vs baseline: %.2fx\n", base.CompletionTime/res.CompletionTime)
+		}
+	}
+}
+
+func report(label string, r experiments.Result) {
+	fmt.Printf("[%s] %s/%s/%s seed=%d\n", label, r.Middleware, r.TraceName, r.BotClass, r.Seed)
+	if !r.Completed {
+		fmt.Println("  did not complete within the horizon")
+		return
+	}
+	fmt.Printf("  tasks=%d completion=%.0fs ideal=%.0fs slowdown=%.2f tail: %d tasks, %.1f%% of time\n",
+		r.Size, r.CompletionTime, r.Tail.IdealTime, r.Tail.Slowdown,
+		r.Tail.TailTasks, r.Tail.TailTimeFraction*100)
+	if r.Strategy != "" {
+		fmt.Printf("  cloud: %d instances, %.0f cpu·s, credits %.1f/%.1f (triggered at %.0fs)\n",
+			r.Instances, r.CloudCPUSeconds, r.CreditsBilled, r.CreditsAllocated, r.TriggeredAt)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spequlos-sim:", err)
+	os.Exit(1)
+}

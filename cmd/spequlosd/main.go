@@ -1,0 +1,217 @@
+// Command spequlosd runs the SpeQuloS service daemon: the Information,
+// Credit System, Oracle and Scheduler modules mounted on one HTTP server
+// (they can equally be split across hosts; every module only talks to the
+// others through their HTTP APIs).
+//
+//	spequlosd -addr :8080 -strategy 9C-C-R -provider ec2
+//
+// Routes:
+//
+//	/information/…   monitoring archive
+//	/credit/…        accounts, orders, billing
+//	/oracle/…        predictions, provisioning plans, calibration
+//	/scheduler/…     QoS registration, monitor loop, instances
+//	/healthz
+//
+// Without a real Desktop Grid attached, the daemon uses a demo gateway
+// whose batches progress linearly over wall time (-demo-duration); point
+// -dg-url at a BOINC/XWHEP status endpoint adapter to drive a real DG.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/middleware"
+	"spequlos/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		strategy = flag.String("strategy", "9C-C-R", "provisioning strategy combination")
+		period   = flag.Duration("period", time.Minute, "scheduler monitor period")
+		demoDur  = flag.Duration("demo-duration", 10*time.Minute, "demo DG: time a batch takes to complete")
+		stateDir = flag.String("state-dir", "", "directory for JSON state snapshots (empty = in-memory only)")
+	)
+	flag.Parse()
+
+	st, err := core.StrategyByLabel(*strategy)
+	if err != nil {
+		log.Fatalf("spequlosd: %v", err)
+	}
+
+	information, creditSystem, calibration := loadState(*stateDir)
+	info := service.NewInformationService(information)
+	credit := service.NewCreditService(creditSystem)
+
+	// Self-addressed clients: module-to-module calls go through HTTP even
+	// in the single-host deployment.
+	base := "http://127.0.0.1" + normalizeAddr(*addr)
+	infoClient := service.NewInformationClient(base + "/information")
+	creditClient := service.NewCreditClient(base + "/credit")
+	oracleClient := service.NewOracleClient(base + "/oracle")
+
+	oracleCore := core.NewOracle(st)
+	oracleCore.Calibration = calibration
+	oracle := service.NewOracleService(oracleCore, infoClient)
+	dg := newDemoDG(*demoDur)
+	sched := service.NewSchedulerService(infoClient, creditClient, oracleClient, cloud.DefaultRegistry(), dg)
+
+	mux := service.Mux(info, credit, oracle, sched)
+
+	stop := make(chan struct{})
+	go sched.Run(*period, stop)
+	defer close(stop)
+	if *stateDir != "" {
+		go snapshotLoop(*stateDir, *period, information, creditSystem, oracleCore.Calibration, stop)
+	}
+
+	log.Printf("spequlosd listening on %s (strategy %s, demo DG %v/batch)", *addr, st.Label(), *demoDur)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatalf("spequlosd: %v", err)
+	}
+}
+
+// loadState restores module state from JSON snapshots (the MySQL role in
+// the paper's prototype); missing files start fresh.
+func loadState(dir string) (*core.Information, *core.CreditSystem, *core.Calibration) {
+	info := core.NewInformation()
+	credits := core.NewCreditSystem()
+	cal := core.NewCalibration()
+	if dir == "" {
+		return info, credits, cal
+	}
+	load := func(name string, fn func(io.Reader) error) {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return // fresh start
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			log.Printf("spequlosd: ignoring corrupt snapshot %s: %v", name, err)
+		}
+	}
+	load("information.json", func(r io.Reader) error {
+		in, err := core.ReadInformation(r)
+		if err == nil {
+			info = in
+		}
+		return err
+	})
+	load("credits.json", func(r io.Reader) error {
+		cs, err := core.ReadCreditSystem(r)
+		if err == nil {
+			credits = cs
+		}
+		return err
+	})
+	load("calibration.json", func(r io.Reader) error {
+		c, err := core.ReadCalibration(r)
+		if err == nil {
+			cal = c
+		}
+		return err
+	})
+	return info, credits, cal
+}
+
+// snapshotLoop persists module state each period until stop closes.
+func snapshotLoop(dir string, period time.Duration, info *core.Information,
+	credits *core.CreditSystem, cal *core.Calibration, stop <-chan struct{}) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("spequlosd: state dir: %v", err)
+		return
+	}
+	save := func(name string, write func(io.Writer) error) {
+		tmp := filepath.Join(dir, name+".tmp")
+		f, err := os.Create(tmp)
+		if err != nil {
+			log.Printf("spequlosd: snapshot %s: %v", name, err)
+			return
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			log.Printf("spequlosd: snapshot %s: %v", name, err)
+			return
+		}
+		f.Close()
+		os.Rename(tmp, filepath.Join(dir, name)) //nolint:errcheck
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			save("information.json", info.WriteJSON)
+			save("credits.json", credits.WriteJSON)
+			save("calibration.json", cal.WriteJSON)
+		}
+	}
+}
+
+func normalizeAddr(addr string) string {
+	if addr == "" {
+		return ":8080"
+	}
+	if addr[0] == ':' {
+		return addr
+	}
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[i:]
+		}
+	}
+	return ":" + addr
+}
+
+// demoDG is a stand-in Desktop Grid whose batches progress linearly over
+// wall time — enough to exercise the full QoS loop without external
+// middleware.
+type demoDG struct {
+	duration time.Duration
+	mu       sync.Mutex
+	started  map[string]time.Time
+	sizes    map[string]int
+}
+
+func newDemoDG(d time.Duration) *demoDG {
+	return &demoDG{duration: d, started: map[string]time.Time{}, sizes: map[string]int{}}
+}
+
+func (d *demoDG) Progress(batchID string) (middleware.Progress, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	start, ok := d.started[batchID]
+	if !ok {
+		start = time.Now()
+		d.started[batchID] = start
+		d.sizes[batchID] = 100
+	}
+	size := d.sizes[batchID]
+	frac := float64(time.Since(start)) / float64(d.duration)
+	if frac > 1 {
+		frac = 1
+	}
+	done := int(frac * float64(size))
+	return middleware.Progress{
+		Size: size, Arrived: size, Completed: done,
+		EverAssigned: size, Running: size - done,
+	}, nil
+}
+
+func (d *demoDG) WorkerURL() string {
+	return fmt.Sprintf("http://demo-dg.local/%d", d.duration/time.Second)
+}

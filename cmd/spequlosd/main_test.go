@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spequlos/internal/core"
+)
+
+func TestNormalizeAddr(t *testing.T) {
+	cases := map[string]string{
+		"":               ":8080",
+		":9090":          ":9090",
+		"127.0.0.1:8081": ":8081",
+		"8082":           ":8082",
+	}
+	for in, want := range cases {
+		if got := normalizeAddr(in); got != want {
+			t.Errorf("normalizeAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDemoDGProgressesLinearly(t *testing.T) {
+	dg := newDemoDG(100 * time.Millisecond)
+	p0, err := dg.Progress("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Size != 100 || p0.Completed > 5 {
+		t.Fatalf("initial progress: %+v", p0)
+	}
+	time.Sleep(120 * time.Millisecond)
+	p1, _ := dg.Progress("x")
+	if !p1.Done() {
+		t.Fatalf("demo batch incomplete after its duration: %+v", p1)
+	}
+	if dg.WorkerURL() == "" {
+		t.Fatal("worker url empty")
+	}
+}
+
+func TestLoadStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// Build state, snapshot it manually via the core writers.
+	info := core.NewInformation()
+	bi, _ := info.Track("b", "env", 10, 0)
+	bi.AddSample(60, 10, 10, 0, 0)
+	credits := core.NewCreditSystem()
+	credits.Deposit("u", 42)
+	cal := core.NewCalibration()
+	cal.Record("env", 100, 150)
+
+	write := func(name string, fn func(*bytes.Buffer) error) {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("information.json", func(b *bytes.Buffer) error { return info.WriteJSON(b) })
+	write("credits.json", func(b *bytes.Buffer) error { return credits.WriteJSON(b) })
+	write("calibration.json", func(b *bytes.Buffer) error { return cal.WriteJSON(b) })
+
+	in2, cs2, cal2 := loadState(dir)
+	if in2.Get("b") == nil || !in2.Get("b").Done() {
+		t.Fatal("information not restored")
+	}
+	if cs2.AccountOf("u").Balance != 42 {
+		t.Fatal("credits not restored")
+	}
+	if cal2.Count("env") != 1 {
+		t.Fatal("calibration not restored")
+	}
+}
+
+func TestLoadStateFreshWhenMissing(t *testing.T) {
+	in, cs, cal := loadState(t.TempDir())
+	if in == nil || cs == nil || cal == nil {
+		t.Fatal("nil state")
+	}
+	in2, _, _ := loadState("")
+	if in2 == nil {
+		t.Fatal("nil state without dir")
+	}
+}

@@ -1,0 +1,70 @@
+// Command tracegen synthesizes, inspects and validates BE-DCI availability
+// traces (Table 2 of the paper).
+//
+// Usage:
+//
+//	tracegen -trace seti -days 7 -stats          # print measured statistics
+//	tracegen -trace g5klyo -csv lyo.csv          # export to CSV
+//	tracegen -validate                           # compare all traces to Table 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spequlos/internal/experiments"
+)
+
+func main() {
+	var (
+		name     = flag.String("trace", "seti", "trace name: seti nd g5klyo g5kgre spot10 spot100")
+		days     = flag.Float64("days", 7, "trace length to generate, days")
+		pool     = flag.Int("pool", 0, "node pool cap (0 = natural pool)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		csvPath  = flag.String("csv", "", "write the trace to this CSV file")
+		stats    = flag.Bool("stats", false, "print measured statistics")
+		validate = flag.Bool("validate", false, "generate every trace and compare to Table 2")
+	)
+	flag.Parse()
+
+	if *validate {
+		rows := experiments.BuildTable2(*days, *seed)
+		fmt.Print(experiments.RenderTable2(rows))
+		return
+	}
+
+	src, err := experiments.TraceSource(*name)
+	if err != nil {
+		fatal(err)
+	}
+	tr := src.Generate(*seed, *days*86400, *pool)
+	if err := tr.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %s: %d nodes over %.1f days\n", tr.Name, len(tr.Nodes), tr.Length/86400)
+
+	if *stats {
+		st := tr.MeasureStats(600)
+		fmt.Printf("concurrency: %s\n", st.Concurrency)
+		fmt.Printf("avail dur  : %s\n", st.Avail)
+		fmt.Printf("unavail dur: %s\n", st.Unavail)
+		fmt.Printf("power      : %s\n", st.Power)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tr.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Quickstart: run one SMALL Bag-of-Tasks on the SETI@home desktop grid
+// trace under the XWHEP middleware, with and without SpeQuloS, and compare
+// completion time, tail and cloud cost — the core promise of the paper in
+// thirty lines.
+package main
+
+import (
+	"fmt"
+
+	"spequlos"
+)
+
+func main() {
+	profile := spequlos.QuickProfile()
+	scenario := spequlos.Scenario{
+		Profile:    profile,
+		Middleware: "XWHEP",
+		TraceName:  "seti",
+		BotClass:   "SMALL",
+	}
+
+	fmt.Println("running baseline (no QoS support)…")
+	base := spequlos.Simulate(scenario)
+	fmt.Printf("  %d tasks completed in %.0f s (ideal %.0f s, tail slowdown ×%.2f)\n",
+		base.Size, base.CompletionTime, base.Tail.IdealTime, base.Tail.Slowdown)
+
+	strategy := spequlos.DefaultStrategy() // 9C-C-R
+	scenario.Strategy = &strategy
+	fmt.Printf("running with SpeQuloS (%s)…\n", strategy.Label())
+	speq := spequlos.Simulate(scenario)
+	fmt.Printf("  %d tasks completed in %.0f s (tail slowdown ×%.2f)\n",
+		speq.Size, speq.CompletionTime, speq.Tail.Slowdown)
+	fmt.Printf("  cloud: %d instance(s), %.0f CPU·s, %.1f of %.1f credits spent\n",
+		speq.Instances, speq.CloudCPUSeconds, speq.CreditsBilled, speq.CreditsAllocated)
+
+	if speq.CompletionTime > 0 {
+		fmt.Printf("\nSpeQuloS speed-up: %.2fx, offloading %.2f%% of the workload to the cloud\n",
+			base.CompletionTime/speq.CompletionTime,
+			100*speq.CreditsBilled/(speq.CreditsAllocated*10))
+	}
+}

@@ -1,0 +1,42 @@
+// Spot-market example (§4.1.1): simulate the EC2 spot price process, place
+// the paper's persistent bid ladder (n bids at S/i for a total budget of S
+// dollars per hour), derive the instance availability trace, and run a BoT
+// on it with and without SpeQuloS.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"spequlos"
+	"spequlos/internal/spot"
+)
+
+func main() {
+	market := spot.DefaultMarket()
+	prices := market.Prices(7, 86400) // one day, 5-minute steps
+
+	fmt.Println("spot price and bid-ladder fleet over one day (budget $10/h):")
+	for i := 0; i < len(prices); i += 24 { // every 2 hours
+		p := prices[i]
+		n := spot.InstanceCount(10, p)
+		bar := strings.Repeat("#", n/2)
+		fmt.Printf("  t=%5.1fh  $%.4f  %3d instances %s\n",
+			float64(i)*market.Step/3600, p, n, bar)
+	}
+
+	fmt.Println("\nrunning a RANDOM BoT on the spot10 trace (XWHEP)…")
+	sc := spequlos.Scenario{
+		Profile:    spequlos.QuickProfile(),
+		Middleware: "XWHEP",
+		TraceName:  "spot10",
+		BotClass:   "RANDOM",
+	}
+	base := spequlos.Simulate(sc)
+	st := spequlos.DefaultStrategy()
+	sc.Strategy = &st
+	speq := spequlos.Simulate(sc)
+	fmt.Printf("  baseline : %.0f s (tail slowdown ×%.2f)\n", base.CompletionTime, base.Tail.Slowdown)
+	fmt.Printf("  SpeQuloS : %.0f s, %.1f credits spent of %.1f\n",
+		speq.CompletionTime, speq.CreditsBilled, speq.CreditsAllocated)
+}

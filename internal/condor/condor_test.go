@@ -1,0 +1,208 @@
+package condor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spequlos/internal/bot"
+	"spequlos/internal/middleware"
+	"spequlos/internal/sim"
+)
+
+type recorder struct {
+	completed map[int]int
+	compTimes map[int]float64
+	batchDone float64
+}
+
+func newRecorder() *recorder {
+	return &recorder{completed: map[int]int{}, compTimes: map[int]float64{}, batchDone: -1}
+}
+func (r *recorder) TaskAssigned(string, int, float64) {}
+func (r *recorder) TaskCompleted(b string, id int, at float64) {
+	r.completed[id]++
+	r.compTimes[id] = at
+}
+func (r *recorder) BatchCompleted(b string, at float64) { r.batchDone = at }
+
+func tasks(nops ...float64) []bot.Task {
+	out := make([]bot.Task, len(nops))
+	for i, n := range nops {
+		out[i] = bot.Task{ID: i, NOps: n}
+	}
+	return out
+}
+
+func TestBasicExecution(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig())
+	rec := newRecorder()
+	s.AddListener(rec)
+	s.Submit(middleware.Batch{ID: "b", Tasks: tasks(100, 200)})
+	s.WorkerJoin(&middleware.Worker{ID: 0, Power: 1})
+	eng.Run()
+	if rec.batchDone != 300 {
+		t.Fatalf("batch done at %v, want 300", rec.batchDone)
+	}
+	if s.MiddlewareName() != "CONDOR" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestCheckpointMigrationPreservesWork(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Config{PollInterval: 300, CheckpointPeriod: 900}
+	s := New(eng, cfg)
+	rec := newRecorder()
+	s.AddListener(rec)
+	// 3600 s of work at power 1. The first machine dies at t=2000: two
+	// 900-s checkpoints exist, preserving 1800 s of work.
+	s.Submit(middleware.Batch{ID: "b", Tasks: tasks(3600)})
+	w1 := &middleware.Worker{ID: 1, Power: 1}
+	w2 := &middleware.Worker{ID: 2, Power: 1}
+	s.WorkerJoin(w1)
+	eng.At(2000, func() { s.WorkerLeave(w1) })
+	eng.At(2000, func() { s.WorkerJoin(w2) })
+	eng.Run()
+	// Detection at 2000+150 (half poll interval); remaining work
+	// 3600−1800 = 1800 s on w2 → completion at 2150+1800 = 3950.
+	if rec.compTimes[0] != 3950 {
+		t.Fatalf("completed at %v, want 3950 (checkpoint migration)", rec.compTimes[0])
+	}
+	if rec.completed[0] != 1 {
+		t.Fatalf("completed %d times", rec.completed[0])
+	}
+}
+
+func TestNoCheckpointLosesAllWork(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig())
+	rec := newRecorder()
+	s.AddListener(rec)
+	// Dies at t=500, before the first 900-s checkpoint: full restart.
+	s.Submit(middleware.Batch{ID: "b", Tasks: tasks(3600)})
+	w1 := &middleware.Worker{ID: 1, Power: 1}
+	w2 := &middleware.Worker{ID: 2, Power: 1}
+	s.WorkerJoin(w1)
+	eng.At(500, func() { s.WorkerLeave(w1) })
+	eng.At(500, func() { s.WorkerJoin(w2) })
+	eng.Run()
+	// Detection at 650, full 3600 s on w2 → 4250.
+	if rec.compTimes[0] != 4250 {
+		t.Fatalf("completed at %v, want 4250 (restart from zero)", rec.compTimes[0])
+	}
+}
+
+func TestFasterDetectionThanXWHEP(t *testing.T) {
+	// Condor's poll-based detection (150 s expected) beats XWHEP's
+	// 930 s heartbeat timeout for the same failure pattern.
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig())
+	rec := newRecorder()
+	s.AddListener(rec)
+	s.Submit(middleware.Batch{ID: "b", Tasks: tasks(1000)})
+	w1 := &middleware.Worker{ID: 1, Power: 1}
+	s.WorkerJoin(w1)
+	eng.At(100, func() { s.WorkerLeave(w1) })
+	eng.At(100, func() { s.WorkerJoin(&middleware.Worker{ID: 2, Power: 1}) })
+	eng.Run()
+	if rec.compTimes[0] != 100+150+1000 {
+		t.Fatalf("completed at %v, want 1250", rec.compTimes[0])
+	}
+}
+
+func TestRescheduleCloudDuplicate(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig())
+	rec := newRecorder()
+	s.AddListener(rec)
+	s.SetReschedule(true)
+	s.Submit(middleware.Batch{ID: "b", Tasks: tasks(100000)})
+	s.WorkerJoin(&middleware.Worker{ID: 1, Power: 1})
+	eng.At(60, func() { s.WorkerJoin(middleware.NewCloudWorker(0, 1000, "b")) })
+	eng.Run()
+	if rec.batchDone != 160 {
+		t.Fatalf("batch done at %v, want 160 (cloud duplicate)", rec.batchDone)
+	}
+	if rec.completed[0] != 1 {
+		t.Fatalf("completed %d times", rec.completed[0])
+	}
+}
+
+func TestMarkCompletedAndIncomplete(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig())
+	s.Submit(middleware.Batch{ID: "b", Tasks: tasks(1000, 1000)})
+	s.WorkerJoin(&middleware.Worker{ID: 1, Power: 1})
+	eng.RunUntil(100)
+	if got := len(s.Incomplete("b")); got != 2 {
+		t.Fatalf("incomplete = %d", got)
+	}
+	s.MarkCompleted("b", 0)
+	s.MarkCompleted("b", 0) // idempotent
+	eng.Run()
+	if !s.Done("b") {
+		t.Fatal("batch incomplete")
+	}
+	p := s.Progress("b")
+	if p.Completed != 2 || p.Running != 0 {
+		t.Fatalf("progress: %+v", p)
+	}
+}
+
+func TestChurnStressInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		eng := sim.NewEngine()
+		s := New(eng, DefaultConfig())
+		rec := newRecorder()
+		s.AddListener(rec)
+		r := sim.NewRNG(seed)
+		n := 15
+		specs := make([]bot.Task, n)
+		for i := range specs {
+			specs[i] = bot.Task{ID: i, NOps: 100 + r.Float64()*2000}
+		}
+		s.Submit(middleware.Batch{ID: "b", Tasks: specs})
+		s.WorkerJoin(&middleware.Worker{ID: 999, Power: 1})
+		for i := 0; i < 5; i++ {
+			w := &middleware.Worker{ID: i, Power: 0.5 + r.Float64()}
+			at := r.Float64() * 1000
+			dur := 200 + r.Float64()*2000
+			eng.At(at, func() { s.WorkerJoin(w) })
+			eng.At(at+dur, func() { s.WorkerLeave(w) })
+		}
+		eng.Run()
+		if !s.Done("b") {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if rec.completed[i] != 1 {
+				return false
+			}
+		}
+		p := s.Progress("b")
+		return p.Completed == n && p.Running == 0 && p.Queued == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateBatchPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, DefaultConfig())
+	s.Submit(middleware.Batch{ID: "b", Tasks: tasks(1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate batch accepted")
+		}
+	}()
+	s.Submit(middleware.Batch{ID: "b", Tasks: tasks(1)})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := New(sim.NewEngine(), Config{})
+	if s.cfg.PollInterval != 300 || s.cfg.CheckpointPeriod != 900 {
+		t.Fatalf("defaults: %+v", s.cfg)
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CreditsPerCPUHour is the fixed exchange rate of the Credit System (§3.3:
+// "1 CPU.hour of Cloud worker usage costs 15 credits").
+const CreditsPerCPUHour = 15.0
+
+// CreditSystem is the SpeQuloS billing and accounting module: it manages
+// user accounts, QoS orders attached to BoTs, per-period billing of cloud
+// usage, and the final payment that refunds unspent credits (§3.3). It is
+// safe for concurrent use.
+type CreditSystem struct {
+	mu       sync.Mutex
+	accounts map[string]*Account
+	orders   map[string]*Order
+	rate     float64
+}
+
+// Account is a user's credit account.
+type Account struct {
+	User    string  `json:"user"`
+	Balance float64 `json:"balance"`
+	Spent   float64 `json:"spent"` // lifetime credits consumed
+}
+
+// Order is a QoS support order: credits provisioned for one BoT.
+type Order struct {
+	BatchID   string  `json:"batch_id"`
+	User      string  `json:"user"`
+	Allocated float64 `json:"allocated"`
+	Billed    float64 `json:"billed"`
+	Closed    bool    `json:"closed"`
+}
+
+// Remaining returns the unconsumed credits of the order.
+func (o *Order) Remaining() float64 { return o.Allocated - o.Billed }
+
+// NewCreditSystem returns a credit system with the paper's exchange rate.
+func NewCreditSystem() *CreditSystem {
+	return &CreditSystem{
+		accounts: map[string]*Account{},
+		orders:   map[string]*Order{},
+		rate:     CreditsPerCPUHour,
+	}
+}
+
+// Rate returns credits per CPU·hour.
+func (cs *CreditSystem) Rate() float64 { return cs.rate }
+
+// CreditsForCPUSeconds converts cloud CPU time to credits.
+func (cs *CreditSystem) CreditsForCPUSeconds(sec float64) float64 {
+	return sec / 3600 * cs.rate
+}
+
+// CPUHoursFor converts credits to CPU·hours of cloud usage.
+func (cs *CreditSystem) CPUHoursFor(credits float64) float64 { return credits / cs.rate }
+
+// Deposit adds credits to a user account, creating it on first use.
+func (cs *CreditSystem) Deposit(user string, credits float64) error {
+	if credits < 0 {
+		return fmt.Errorf("credit: negative deposit %g", credits)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.account(user).Balance += credits
+	return nil
+}
+
+func (cs *CreditSystem) account(user string) *Account {
+	a, ok := cs.accounts[user]
+	if !ok {
+		a = &Account{User: user}
+		cs.accounts[user] = a
+	}
+	return a
+}
+
+// AccountOf returns a copy of the user's account state.
+func (cs *CreditSystem) AccountOf(user string) Account {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return *cs.account(user)
+}
+
+// OrderQoS provisions credits from the user's account for a BoT (§3.3:
+// "The Credit System verifies that there are enough credits on the user's
+// account to allow the order, and then it provisions credits to the BoT").
+func (cs *CreditSystem) OrderQoS(user, batchID string, credits float64) error {
+	if credits <= 0 {
+		return fmt.Errorf("credit: order must be positive, got %g", credits)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if o, ok := cs.orders[batchID]; ok && !o.Closed {
+		return fmt.Errorf("credit: batch %q already has an open order", batchID)
+	}
+	a := cs.account(user)
+	if a.Balance < credits {
+		return fmt.Errorf("credit: %s has %.1f credits, needs %.1f", user, a.Balance, credits)
+	}
+	a.Balance -= credits
+	cs.orders[batchID] = &Order{BatchID: batchID, User: user, Allocated: credits}
+	return nil
+}
+
+// HasCredits reports whether the batch has an open order with credits left
+// (Algorithm 1's CreditSystem.hasCredits).
+func (cs *CreditSystem) HasCredits(batchID string) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	o, ok := cs.orders[batchID]
+	return ok && !o.Closed && o.Remaining() > 1e-9
+}
+
+// Bill charges cloud usage against the batch's order (Algorithm 2's
+// CreditSystem.bill). It bills at most the remaining credits and returns
+// the amount actually billed; exhausted reports whether the order ran dry.
+func (cs *CreditSystem) Bill(batchID string, credits float64) (billed float64, exhausted bool, err error) {
+	if credits < 0 {
+		return 0, false, fmt.Errorf("credit: negative bill %g", credits)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	o, ok := cs.orders[batchID]
+	if !ok || o.Closed {
+		return 0, true, fmt.Errorf("credit: no open order for batch %q", batchID)
+	}
+	billed = credits
+	if rem := o.Remaining(); billed >= rem {
+		billed = rem
+		exhausted = true
+	}
+	o.Billed += billed
+	cs.account(o.User).Spent += billed
+	return billed, exhausted, nil
+}
+
+// Pay closes the order and refunds unspent credits to the user (§3.3: "If
+// the BoT execution was completed before all the credits have been spent,
+// the Credit System transfers back the remaining credits").
+func (cs *CreditSystem) Pay(batchID string) (refund float64, err error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	o, ok := cs.orders[batchID]
+	if !ok {
+		return 0, fmt.Errorf("credit: no order for batch %q", batchID)
+	}
+	if o.Closed {
+		return 0, nil
+	}
+	o.Closed = true
+	refund = o.Remaining()
+	cs.account(o.User).Balance += refund
+	return refund, nil
+}
+
+// OrderOf returns a copy of the batch's order.
+func (cs *CreditSystem) OrderOf(batchID string) (Order, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	o, ok := cs.orders[batchID]
+	if !ok {
+		return Order{}, false
+	}
+	return *o, true
+}
+
+// Users lists known accounts, sorted.
+func (cs *CreditSystem) Users() []string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]string, 0, len(cs.accounts))
+	for u := range cs.accounts {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DepositPolicy provisions user accounts periodically (§3.3: administrators
+// control cloud usage through deposit policies).
+type DepositPolicy interface {
+	// Apply returns the credits to deposit for the account.
+	Apply(a Account) float64
+	Name() string
+}
+
+// TopUpPolicy refills an account up to Cap credits each period — the
+// paper's example policy limiting a user's daily cloud usage (its printed
+// formula d = max(6000, 6000−spent) reads as a top-up to 6000; we implement
+// the top-up semantics).
+type TopUpPolicy struct{ Cap float64 }
+
+// Apply implements DepositPolicy.
+func (p TopUpPolicy) Apply(a Account) float64 {
+	if d := p.Cap - a.Balance; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Name implements DepositPolicy.
+func (p TopUpPolicy) Name() string { return fmt.Sprintf("topup(%g)", p.Cap) }
+
+// FixedPolicy deposits a constant amount each period.
+type FixedPolicy struct{ Amount float64 }
+
+// Apply implements DepositPolicy.
+func (p FixedPolicy) Apply(Account) float64 { return p.Amount }
+
+// Name implements DepositPolicy.
+func (p FixedPolicy) Name() string { return fmt.Sprintf("fixed(%g)", p.Amount) }
+
+// ApplyPolicy runs a deposit policy over every account.
+func (cs *CreditSystem) ApplyPolicy(p DepositPolicy) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for _, a := range cs.accounts {
+		a.Balance += p.Apply(*a)
+	}
+}

@@ -1,0 +1,221 @@
+// Package core implements SpeQuloS itself (§3 of the paper): the
+// Information module that monitors BoT progress, the Credit System that
+// accounts for cloud usage, the Oracle that predicts completion times and
+// decides when and how many cloud workers to start, and the Scheduler that
+// manages cloud workers over a BoT's lifetime (Algorithms 1 and 2).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sample is one monitoring observation of a BoT execution (§3.2: the
+// Information module stores "the BoT completion history as a time series of
+// the number of completed tasks, the number of tasks assigned to workers
+// and the number of tasks waiting in the scheduler queue").
+type Sample struct {
+	T         float64 `json:"t"` // seconds since BoT submission
+	Completed int     `json:"completed"`
+	Assigned  int     `json:"assigned"` // tasks ever assigned (monotone)
+	Queued    int     `json:"queued"`
+	Running   int     `json:"running"`
+	// Workers is the infrastructure state observed with the sample: the
+	// number of workers attached to the DG server. The tail-anticipation
+	// extension (§7 future work) correlates execution with it.
+	Workers int `json:"workers"`
+}
+
+// milestones is the per-percent resolution of the tc(x)/ta(x) caches.
+const milestones = 100
+
+// BatchInfo is the monitored history of one BoT execution. The milestone
+// caches give O(1) access to tc(x) (time at which x% of the BoT was
+// completed) and ta(x) (time at which x% was assigned), the two series
+// every Oracle strategy is built from.
+type BatchInfo struct {
+	BatchID     string
+	EnvKey      string // environment (middleware/BE-DCI/BoT class) for α calibration
+	Size        int
+	SubmittedAt float64
+	Samples     []Sample
+	CompletedAt float64 // -1 while running
+	// PeakWorkers is the largest worker count observed so far.
+	PeakWorkers int
+
+	// tcAt[i] is the elapsed time at which completion first reached i
+	// percent; -1 if not yet. taAt is the same for assignment.
+	tcAt [milestones + 1]float64
+	taAt [milestones + 1]float64
+}
+
+// NewBatchInfo starts tracking a batch of the given size.
+func NewBatchInfo(batchID, envKey string, size int, submittedAt float64) *BatchInfo {
+	bi := &BatchInfo{BatchID: batchID, EnvKey: envKey, Size: size, SubmittedAt: submittedAt, CompletedAt: -1}
+	for i := range bi.tcAt {
+		bi.tcAt[i] = -1
+		bi.taAt[i] = -1
+	}
+	bi.tcAt[0] = 0
+	bi.taAt[0] = 0
+	return bi
+}
+
+// AddSample appends an observation taken at absolute time now.
+func (bi *BatchInfo) AddSample(now float64, completed, assigned, queued, running int) {
+	bi.AddSampleWorkers(now, completed, assigned, queued, running, 0)
+}
+
+// AddSampleWorkers appends an observation including the infrastructure
+// state (attached worker count).
+func (bi *BatchInfo) AddSampleWorkers(now float64, completed, assigned, queued, running, workers int) {
+	t := now - bi.SubmittedAt
+	s := Sample{T: t, Completed: completed, Assigned: assigned, Queued: queued, Running: running, Workers: workers}
+	if workers > bi.PeakWorkers {
+		bi.PeakWorkers = workers
+	}
+	bi.Samples = append(bi.Samples, s)
+	if bi.Size > 0 {
+		fill := func(cache *[milestones + 1]float64, count int) {
+			upto := count * milestones / bi.Size
+			if upto > milestones {
+				upto = milestones
+			}
+			for i := 1; i <= upto; i++ {
+				if cache[i] < 0 {
+					cache[i] = t
+				}
+			}
+		}
+		fill(&bi.tcAt, completed)
+		fill(&bi.taAt, assigned)
+	}
+	if completed >= bi.Size && bi.Size > 0 && bi.CompletedAt < 0 {
+		bi.CompletedAt = t
+	}
+}
+
+// Last returns the most recent sample (zero Sample if none).
+func (bi *BatchInfo) Last() Sample {
+	if len(bi.Samples) == 0 {
+		return Sample{}
+	}
+	return bi.Samples[len(bi.Samples)-1]
+}
+
+// CompletedFraction returns the latest completion ratio.
+func (bi *BatchInfo) CompletedFraction() float64 {
+	if bi.Size == 0 {
+		return 0
+	}
+	return float64(bi.Last().Completed) / float64(bi.Size)
+}
+
+// AssignedFraction returns the latest ever-assigned ratio.
+func (bi *BatchInfo) AssignedFraction() float64 {
+	if bi.Size == 0 {
+		return 0
+	}
+	return float64(bi.Last().Assigned) / float64(bi.Size)
+}
+
+// Done reports whether the batch completed.
+func (bi *BatchInfo) Done() bool { return bi.CompletedAt >= 0 }
+
+// TimeAtCompletion returns tc(x): the elapsed time at which completion
+// first reached fraction x, at 1% resolution. ok is false if not reached.
+func (bi *BatchInfo) TimeAtCompletion(x float64) (t float64, ok bool) {
+	return bi.at(&bi.tcAt, x)
+}
+
+// TimeAtAssignment returns ta(x) for the ever-assigned series.
+func (bi *BatchInfo) TimeAtAssignment(x float64) (t float64, ok bool) {
+	return bi.at(&bi.taAt, x)
+}
+
+func (bi *BatchInfo) at(cache *[milestones + 1]float64, x float64) (float64, bool) {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	i := int(x * milestones)
+	v := cache[i]
+	return v, v >= 0
+}
+
+// ExecutionVariance returns var(x) = tc(x) − ta(x) (§3.5), or ok=false if
+// fraction x has not completed yet.
+func (bi *BatchInfo) ExecutionVariance(x float64) (float64, bool) {
+	tc, ok1 := bi.TimeAtCompletion(x)
+	ta, ok2 := bi.TimeAtAssignment(x)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	v := tc - ta
+	if v < 0 {
+		v = 0
+	}
+	return v, true
+}
+
+// MaxExecutionVarianceUpTo returns max var(x) over milestones in (0, x].
+func (bi *BatchInfo) MaxExecutionVarianceUpTo(x float64) float64 {
+	max := 0.0
+	limit := int(x * milestones)
+	if limit > milestones {
+		limit = milestones
+	}
+	for i := 1; i <= limit; i++ {
+		if v, ok := bi.ExecutionVariance(float64(i) / milestones); ok && v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Information is the SpeQuloS Information module: it archives the
+// executions of every QoS-enabled BoT across BE-DCIs. It is safe for
+// concurrent use (the service layer queries it from HTTP handlers).
+type Information struct {
+	mu      sync.RWMutex
+	batches map[string]*BatchInfo
+}
+
+// NewInformation returns an empty archive.
+func NewInformation() *Information {
+	return &Information{batches: map[string]*BatchInfo{}}
+}
+
+// Track registers a batch; it errors if the ID is already tracked.
+func (in *Information) Track(batchID, envKey string, size int, submittedAt float64) (*BatchInfo, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ok := in.batches[batchID]; ok {
+		return nil, fmt.Errorf("information: batch %q already tracked", batchID)
+	}
+	bi := NewBatchInfo(batchID, envKey, size, submittedAt)
+	in.batches[batchID] = bi
+	return bi, nil
+}
+
+// Get returns the history of a batch, or nil.
+func (in *Information) Get(batchID string) *BatchInfo {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.batches[batchID]
+}
+
+// BatchIDs lists tracked batches, sorted.
+func (in *Information) BatchIDs() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	out := make([]string, 0, len(in.batches))
+	for id := range in.batches {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"spequlos/internal/stats"
+)
+
+// Trigger decides when cloud workers should be started for a BoT (§3.5).
+type Trigger interface {
+	// Code is the short name used in strategy-combination labels
+	// ("9C", "9A", "D").
+	Code() string
+	// ShouldStart reports whether cloud support should begin now.
+	ShouldStart(bi *BatchInfo) bool
+}
+
+// CompletionThreshold (9C) starts cloud workers once the completed-task
+// fraction reaches Frac (0.9 in the paper).
+type CompletionThreshold struct{ Frac float64 }
+
+// Code implements Trigger.
+func (t CompletionThreshold) Code() string {
+	return fmt.Sprintf("%.0fC", t.Frac*10)
+}
+
+// ShouldStart implements Trigger.
+func (t CompletionThreshold) ShouldStart(bi *BatchInfo) bool {
+	return bi.CompletedFraction() >= t.Frac
+}
+
+// AssignmentThreshold (9A) starts cloud workers once the ever-assigned
+// fraction reaches Frac.
+type AssignmentThreshold struct{ Frac float64 }
+
+// Code implements Trigger.
+func (t AssignmentThreshold) Code() string {
+	return fmt.Sprintf("%.0fA", t.Frac*10)
+}
+
+// ShouldStart implements Trigger.
+func (t AssignmentThreshold) ShouldStart(bi *BatchInfo) bool {
+	return bi.AssignedFraction() >= t.Frac
+}
+
+// ExecutionVariance (D) starts cloud workers when var(c) = tc(c) − ta(c)
+// doubles versus the maximum observed during the first half of the
+// execution — a dynamic tail detector (§3.5).
+type ExecutionVariance struct{}
+
+// Code implements Trigger.
+func (ExecutionVariance) Code() string { return "D" }
+
+// ShouldStart implements Trigger.
+func (ExecutionVariance) ShouldStart(bi *BatchInfo) bool {
+	c := bi.CompletedFraction()
+	if c < 0.5 {
+		return false // the reference maximum spans the first half
+	}
+	cur, ok := bi.ExecutionVariance(c)
+	if !ok {
+		return false
+	}
+	ref := bi.MaxExecutionVarianceUpTo(0.5)
+	if ref <= 0 {
+		// Degenerate reference (instant assignments): fall back to an
+		// absolute guard so the trigger still fires in the tail.
+		return cur > 0
+	}
+	return cur >= 2*ref
+}
+
+// Sizing decides how many cloud workers to start, given the credit
+// allowance expressed in CPU·hours (§3.5).
+type Sizing interface {
+	// Code is the short name ("G", "C").
+	Code() string
+	// Workers returns the number of cloud workers to start now.
+	Workers(bi *BatchInfo, creditCPUHours float64, now float64) int
+}
+
+// Greedy (G) starts the whole allowance at once: S workers for S CPU·hours
+// of credit; idle ones are stopped by the Scheduler to release credits.
+type Greedy struct{}
+
+// Code implements Sizing.
+func (Greedy) Code() string { return "G" }
+
+// Workers implements Sizing.
+func (Greedy) Workers(_ *BatchInfo, creditCPUHours float64, _ float64) int {
+	if creditCPUHours <= 0 {
+		return 0
+	}
+	return maxInt(1, int(creditCPUHours))
+}
+
+// Conservative (C) estimates the remaining execution time tr from the
+// current completion rate and starts min(S/tr, S) workers, so the workers
+// can be funded for the whole estimated remainder. (The paper prints
+// max(S/tr, S); the stated goal — "ensuring that there will be enough
+// credits for them to run during the estimated time" — requires min, see
+// DESIGN.md.)
+type Conservative struct{}
+
+// Code implements Sizing.
+func (Conservative) Code() string { return "C" }
+
+// Workers implements Sizing.
+func (Conservative) Workers(bi *BatchInfo, creditCPUHours float64, now float64) int {
+	if creditCPUHours <= 0 {
+		return 0
+	}
+	xe := bi.CompletedFraction()
+	if xe <= 0 {
+		return maxInt(1, int(creditCPUHours))
+	}
+	elapsed := now - bi.SubmittedAt
+	tr := elapsed/xe - elapsed // estimated remaining seconds at constant rate
+	trHours := tr / 3600
+	n := creditCPUHours
+	if trHours > 0 {
+		n = math.Min(creditCPUHours/trHours, creditCPUHours)
+	}
+	return maxInt(1, int(n))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Deployment is how cloud workers are attached to the infrastructure
+// (§3.5): Flat (unmodified server, cloud workers compete), Reschedule
+// (patched server serves cloud workers pending work, then duplicates), or
+// CloudDuplication (a dedicated cloud-hosted server executes a copy of the
+// tail; results are merged).
+type Deployment int
+
+// Deployment strategies.
+const (
+	Flat Deployment = iota
+	Reschedule
+	CloudDuplication
+)
+
+// Code returns the short name ("F", "R", "D").
+func (d Deployment) Code() string {
+	switch d {
+	case Flat:
+		return "F"
+	case Reschedule:
+		return "R"
+	case CloudDuplication:
+		return "D"
+	}
+	return "?"
+}
+
+func (d Deployment) String() string {
+	switch d {
+	case Flat:
+		return "Flat"
+	case Reschedule:
+		return "Reschedule"
+	case CloudDuplication:
+		return "CloudDuplication"
+	}
+	return "Unknown"
+}
+
+// Strategy is a full provisioning strategy combination, named like the
+// paper: e.g. 9C-C-R = Completion threshold, Conservative, Reschedule.
+type Strategy struct {
+	Trigger Trigger
+	Sizing  Sizing
+	Deploy  Deployment
+}
+
+// Label returns the paper-style combination label.
+func (s Strategy) Label() string {
+	return s.Trigger.Code() + "-" + s.Sizing.Code() + "-" + s.Deploy.Code()
+}
+
+// DefaultStrategy is 9C-C-R, the combination the paper selects as "a good
+// compromise between Tail Removal Efficiency performance, credits
+// consumption and ease of implementation" (§4.3).
+func DefaultStrategy() Strategy {
+	return Strategy{Trigger: CompletionThreshold{0.9}, Sizing: Conservative{}, Deploy: Reschedule}
+}
+
+// AllStrategies enumerates the 18 combinations evaluated in Fig 4 and 5.
+func AllStrategies() []Strategy {
+	triggers := []Trigger{CompletionThreshold{0.9}, AssignmentThreshold{0.9}, ExecutionVariance{}}
+	sizings := []Sizing{Greedy{}, Conservative{}}
+	deploys := []Deployment{Flat, Reschedule, CloudDuplication}
+	var out []Strategy
+	for _, d := range deploys {
+		for _, tr := range triggers {
+			for _, sz := range sizings {
+				out = append(out, Strategy{Trigger: tr, Sizing: sz, Deploy: d})
+			}
+		}
+	}
+	return out
+}
+
+// StrategyByLabel parses a paper-style label like "9A-G-D".
+func StrategyByLabel(label string) (Strategy, error) {
+	for _, s := range AllStrategies() {
+		if s.Label() == label {
+			return s, nil
+		}
+	}
+	return Strategy{}, fmt.Errorf("core: unknown strategy %q", label)
+}
+
+// Prediction is the Oracle's answer to getQoSInformation (§3.4).
+type Prediction struct {
+	// PredictedTime is the predicted total completion time of the BoT,
+	// in seconds from submission: tp = α·tc(r)/r.
+	PredictedTime float64 `json:"predicted_time"`
+	// Uncertainty is the historical success rate (within ±20%) of
+	// predictions in the same environment, in [0,1].
+	Uncertainty float64 `json:"uncertainty"`
+	// Alpha is the calibration factor used.
+	Alpha float64 `json:"alpha"`
+	// CompletedFraction is the ratio the prediction was computed at.
+	CompletedFraction float64 `json:"completed_fraction"`
+}
+
+// PredictionTolerance is the ±20% success band of §3.4.
+const PredictionTolerance = 0.20
+
+// Calibration stores per-environment α factors fitted from the history of
+// BoT executions (§3.4: "the value of α is adjusted to minimize the average
+// difference between the predicted time and the completion times actually
+// observed"). Minimizing the mean absolute error of α·base against actual
+// is a weighted-median fit.
+type Calibration struct {
+	mu    sync.RWMutex
+	byEnv map[string]*envCal
+}
+
+type envCal struct {
+	bases   []float64 // tc(r)/r measured at prediction time
+	actuals []float64 // observed completion times
+	alpha   float64
+}
+
+// NewCalibration returns an empty calibration store.
+func NewCalibration() *Calibration { return &Calibration{byEnv: map[string]*envCal{}} }
+
+// Record archives one finished execution's (base, actual) pair and refits α
+// for the environment.
+func (c *Calibration) Record(envKey string, base, actual float64) {
+	if base <= 0 || actual <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byEnv[envKey]
+	if !ok {
+		e = &envCal{alpha: 1}
+		c.byEnv[envKey] = e
+	}
+	e.bases = append(e.bases, base)
+	e.actuals = append(e.actuals, actual)
+	ratios := make([]float64, len(e.bases))
+	for i := range e.bases {
+		ratios[i] = e.actuals[i] / e.bases[i]
+	}
+	e.alpha = stats.WeightedMedian(ratios, e.bases)
+}
+
+// Alpha returns the fitted α for the environment (1 with no history).
+func (c *Calibration) Alpha(envKey string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if e, ok := c.byEnv[envKey]; ok && !math.IsNaN(e.alpha) {
+		return e.alpha
+	}
+	return 1
+}
+
+// SuccessRate returns the fraction of archived executions whose prediction
+// α·base fell within ±tolerance of the actual completion time — the
+// statistical uncertainty reported to users.
+func (c *Calibration) SuccessRate(envKey string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.byEnv[envKey]
+	if !ok || len(e.bases) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range e.bases {
+		tp := e.alpha * e.bases[i]
+		if math.Abs(e.actuals[i]-tp) <= PredictionTolerance*tp {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(e.bases))
+}
+
+// Count returns the number of archived executions for the environment.
+func (c *Calibration) Count(envKey string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if e, ok := c.byEnv[envKey]; ok {
+		return len(e.bases)
+	}
+	return 0
+}
+
+// Oracle is the SpeQuloS Oracle module: completion-time prediction plus the
+// provisioning strategies (§3.4, §3.5).
+type Oracle struct {
+	Strategy    Strategy
+	Calibration *Calibration
+}
+
+// NewOracle builds an Oracle with the given strategy and a fresh
+// calibration store.
+func NewOracle(s Strategy) *Oracle {
+	return &Oracle{Strategy: s, Calibration: NewCalibration()}
+}
+
+// Predict computes the completion-time prediction for a BoT at its current
+// progress (§3.4): tp = α·tc(r)/r.
+func (o *Oracle) Predict(bi *BatchInfo, now float64) (Prediction, error) {
+	r := bi.CompletedFraction()
+	if r <= 0 {
+		return Prediction{}, fmt.Errorf("oracle: batch %q has no completed tasks yet", bi.BatchID)
+	}
+	elapsed := now - bi.SubmittedAt
+	alpha := o.Calibration.Alpha(bi.EnvKey)
+	return Prediction{
+		PredictedTime:     alpha * elapsed / r,
+		Uncertainty:       o.Calibration.SuccessRate(bi.EnvKey),
+		Alpha:             alpha,
+		CompletedFraction: r,
+	}, nil
+}
+
+// ShouldUseCloud implements Algorithm 1's Oracle.shouldUseCloud.
+func (o *Oracle) ShouldUseCloud(bi *BatchInfo) bool {
+	if bi == nil || bi.Done() {
+		return false
+	}
+	return o.Strategy.Trigger.ShouldStart(bi)
+}
+
+// CloudWorkersToStart implements Algorithm 1's Oracle.cloudWorkersToStart:
+// the number of workers the sizing strategy funds with the remaining
+// credits.
+func (o *Oracle) CloudWorkersToStart(bi *BatchInfo, creditCPUHours float64, now float64) int {
+	return o.Strategy.Sizing.Workers(bi, creditCPUHours, now)
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func mkInfo(size int) *BatchInfo { return NewBatchInfo("b", "env", size, 0) }
+
+func TestCompletionThreshold(t *testing.T) {
+	tr := CompletionThreshold{0.9}
+	if tr.Code() != "9C" {
+		t.Fatalf("code = %s", tr.Code())
+	}
+	bi := mkInfo(100)
+	bi.AddSample(60, 89, 100, 0, 0)
+	if tr.ShouldStart(bi) {
+		t.Fatal("fired at 89%")
+	}
+	bi.AddSample(120, 90, 100, 0, 0)
+	if !tr.ShouldStart(bi) {
+		t.Fatal("did not fire at 90%")
+	}
+}
+
+func TestAssignmentThreshold(t *testing.T) {
+	tr := AssignmentThreshold{0.9}
+	if tr.Code() != "9A" {
+		t.Fatalf("code = %s", tr.Code())
+	}
+	bi := mkInfo(100)
+	bi.AddSample(60, 10, 95, 0, 0)
+	if !tr.ShouldStart(bi) {
+		t.Fatal("did not fire at 95% assigned")
+	}
+	bi2 := mkInfo(100)
+	bi2.AddSample(60, 10, 50, 0, 0)
+	if tr.ShouldStart(bi2) {
+		t.Fatal("fired at 50% assigned")
+	}
+}
+
+func TestExecutionVarianceTrigger(t *testing.T) {
+	tr := ExecutionVariance{}
+	if tr.Code() != "D" {
+		t.Fatalf("code = %s", tr.Code())
+	}
+	bi := mkInfo(100)
+	// Steady state: assignments at t, completions lag by ~100 s.
+	bi.AddSample(100, 0, 40, 0, 40)
+	bi.AddSample(200, 40, 80, 0, 40)
+	bi.AddSample(300, 80, 100, 0, 20)
+	if tr.ShouldStart(bi) {
+		t.Fatal("fired in steady state")
+	}
+	// Tail: completion of the last fraction stalls; var grows past 2×.
+	bi.AddSample(1200, 90, 100, 0, 10)
+	bi.AddSample(2400, 95, 100, 0, 5)
+	if !tr.ShouldStart(bi) {
+		tc95, _ := bi.TimeAtCompletion(0.95)
+		ta95, _ := bi.TimeAtAssignment(0.95)
+		t.Fatalf("did not fire in the tail (var95=%v, ref=%v)",
+			tc95-ta95, bi.MaxExecutionVarianceUpTo(0.5))
+	}
+	// Before half completion it must never fire.
+	early := mkInfo(100)
+	early.AddSample(100, 10, 100, 0, 90)
+	early.AddSample(5000, 40, 100, 0, 60)
+	if tr.ShouldStart(early) {
+		t.Fatal("fired before 50% completion")
+	}
+}
+
+func TestGreedySizing(t *testing.T) {
+	g := Greedy{}
+	if g.Code() != "G" {
+		t.Fatalf("code = %s", g.Code())
+	}
+	if n := g.Workers(mkInfo(10), 305.5, 0); n != 305 {
+		t.Fatalf("greedy workers = %d, want 305", n)
+	}
+	if n := g.Workers(mkInfo(10), 0.4, 0); n != 1 {
+		t.Fatalf("greedy small allowance = %d, want 1", n)
+	}
+	if n := g.Workers(mkInfo(10), 0, 0); n != 0 {
+		t.Fatalf("greedy zero allowance = %d, want 0", n)
+	}
+}
+
+func TestConservativeSizing(t *testing.T) {
+	c := Conservative{}
+	if c.Code() != "C" {
+		t.Fatalf("code = %s", c.Code())
+	}
+	bi := mkInfo(100)
+	// 90% completed at t=10000 ⇒ tr = 10000/0.9 − 10000 ≈ 1111 s ≈ 0.31 h.
+	bi.AddSample(10000, 90, 100, 0, 10)
+	// S = 10 cpu·h, tr ≈ 0.31 h ⇒ S/tr ≈ 32 > S ⇒ min ⇒ 10 workers.
+	if n := c.Workers(bi, 10, 10000); n != 10 {
+		t.Fatalf("conservative = %d, want 10 (capped at S)", n)
+	}
+	// Long remaining time: 50% at t=100000 ⇒ tr = 100000 s ≈ 27.8 h ⇒
+	// S/tr ≈ 0.36 ⇒ 1 worker minimum.
+	bi2 := mkInfo(100)
+	bi2.AddSample(100000, 50, 100, 0, 50)
+	if n := c.Workers(bi2, 10, 100000); n != 1 {
+		t.Fatalf("conservative long tail = %d, want 1", n)
+	}
+	// tr between: 90% at t=100000 ⇒ tr ≈ 11111 s ≈ 3.09 h ⇒ S/tr ≈ 3.2 ⇒ 3.
+	bi3 := mkInfo(100)
+	bi3.AddSample(100000, 90, 100, 0, 10)
+	if n := c.Workers(bi3, 10, 100000); n != 3 {
+		t.Fatalf("conservative = %d, want 3", n)
+	}
+}
+
+func TestStrategyLabels(t *testing.T) {
+	if got := DefaultStrategy().Label(); got != "9C-C-R" {
+		t.Fatalf("default = %s", got)
+	}
+	all := AllStrategies()
+	if len(all) != 18 {
+		t.Fatalf("combos = %d, want 18", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.Label()] {
+			t.Fatalf("duplicate label %s", s.Label())
+		}
+		seen[s.Label()] = true
+	}
+	for _, label := range []string{"9C-G-F", "9A-C-D", "D-G-R"} {
+		s, err := StrategyByLabel(label)
+		if err != nil || s.Label() != label {
+			t.Fatalf("roundtrip %s failed: %v", label, err)
+		}
+	}
+	if _, err := StrategyByLabel("XX-Y-Z"); err == nil {
+		t.Fatal("bogus label accepted")
+	}
+	if Flat.String() == "" || Reschedule.String() == "" || CloudDuplication.String() == "" {
+		t.Fatal("deployment names empty")
+	}
+	if Deployment(99).Code() != "?" {
+		t.Fatal("unknown deployment code")
+	}
+}
+
+func TestCalibrationFit(t *testing.T) {
+	c := NewCalibration()
+	if c.Alpha("env") != 1 {
+		t.Fatal("default alpha should be 1")
+	}
+	// Actual completion always 1.5× the constant-rate estimate.
+	for i := 0; i < 20; i++ {
+		base := 1000.0 + float64(i)*100
+		c.Record("env", base, 1.5*base)
+	}
+	if a := c.Alpha("env"); math.Abs(a-1.5) > 1e-9 {
+		t.Fatalf("alpha = %v, want 1.5", a)
+	}
+	if sr := c.SuccessRate("env"); sr != 1 {
+		t.Fatalf("success rate = %v, want 1 (perfect fit)", sr)
+	}
+	if c.Count("env") != 20 {
+		t.Fatalf("count = %d", c.Count("env"))
+	}
+	// Unrelated environment unaffected.
+	if c.Alpha("other") != 1 || c.SuccessRate("other") != 0 {
+		t.Fatal("environment isolation broken")
+	}
+}
+
+func TestCalibrationSuccessRateWithNoise(t *testing.T) {
+	c := NewCalibration()
+	// Half the executions double (way outside ±20%), half are exact.
+	for i := 0; i < 10; i++ {
+		c.Record("env", 1000, 1000)
+		c.Record("env", 1000, 2000)
+	}
+	sr := c.SuccessRate("env")
+	if sr < 0.4 || sr > 0.6 {
+		t.Fatalf("success rate = %v, want ~0.5", sr)
+	}
+	// Invalid pairs ignored.
+	c.Record("env", 0, 100)
+	c.Record("env", 100, -1)
+	if c.Count("env") != 20 {
+		t.Fatal("invalid pairs recorded")
+	}
+}
+
+func TestOraclePredict(t *testing.T) {
+	o := NewOracle(DefaultStrategy())
+	bi := NewBatchInfo("b", "env", 100, 1000)
+	bi.AddSample(1500, 50, 100, 0, 50) // 50% at elapsed 500
+	p, err := o.Predict(bi, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PredictedTime != 1000 { // α=1 · 500/0.5
+		t.Fatalf("prediction = %v, want 1000", p.PredictedTime)
+	}
+	if p.CompletedFraction != 0.5 || p.Alpha != 1 {
+		t.Fatalf("prediction meta: %+v", p)
+	}
+	// With calibration α=2.
+	o.Calibration.Record("env", 1000, 2000)
+	p2, _ := o.Predict(bi, 1500)
+	if p2.PredictedTime != 2000 {
+		t.Fatalf("calibrated prediction = %v, want 2000", p2.PredictedTime)
+	}
+	// No completions yet: error.
+	empty := NewBatchInfo("e", "env", 100, 0)
+	if _, err := o.Predict(empty, 100); err == nil {
+		t.Fatal("prediction without progress accepted")
+	}
+}
+
+func TestOracleShouldUseCloud(t *testing.T) {
+	o := NewOracle(DefaultStrategy())
+	if o.ShouldUseCloud(nil) {
+		t.Fatal("nil batch triggered")
+	}
+	bi := mkInfo(100)
+	bi.AddSample(60, 95, 100, 0, 5)
+	if !o.ShouldUseCloud(bi) {
+		t.Fatal("should trigger at 95%")
+	}
+	bi.AddSample(120, 100, 100, 0, 0)
+	if o.ShouldUseCloud(bi) {
+		t.Fatal("triggered on a finished batch")
+	}
+}

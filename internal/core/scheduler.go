@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+
+	"spequlos/internal/cloud"
+	"spequlos/internal/middleware"
+	"spequlos/internal/sim"
+)
+
+// Config parameterizes a SpeQuloS service instance.
+type Config struct {
+	// Strategy is the provisioning strategy combination.
+	Strategy Strategy
+	// MonitorPeriod is the Information/Scheduler loop period (the paper
+	// monitors per minute; §3.2).
+	MonitorPeriod float64
+	// CloudServerFactory builds the dedicated cloud-hosted server used by
+	// the CloudDuplication deployment. The cloud side runs trusted
+	// resources, so a single-execution (XWHEP-style) server is appropriate
+	// regardless of the primary middleware.
+	CloudServerFactory func() middleware.Server
+}
+
+// DefaultConfig returns a config with the paper's defaults (strategy
+// 9C-C-R, one-minute monitoring).
+func DefaultConfig() Config {
+	return Config{Strategy: DefaultStrategy(), MonitorPeriod: 60}
+}
+
+// CloudUsage summarizes the cloud resources consumed for one batch.
+type CloudUsage struct {
+	InstancesStarted int
+	CPUSeconds       float64
+	CreditsBilled    float64
+	CreditsAllocated float64
+	Exhausted        bool
+	TriggeredAt      float64 // -1 if cloud support never started
+}
+
+// Service is a SpeQuloS deployment bound to one Desktop Grid server inside
+// a simulation: the four modules wired together per Fig 3. (The deployable
+// HTTP flavor lives in internal/service and reuses the same modules.)
+type Service struct {
+	eng     *sim.Engine
+	cfg     Config
+	Info    *Information
+	Credits *CreditSystem
+	Oracle  *Oracle
+	Cloud   *cloud.SimCloud
+
+	primary middleware.Server
+	batches map[string]*qosBatch
+	// order preserves registration order: map iteration order would make
+	// multi-batch runs non-reproducible for a given seed.
+	order  []string
+	ticker *sim.Ticker
+}
+
+type qosBatch struct {
+	id        string
+	user      string
+	bi        *BatchInfo
+	started   bool // cloud support triggered
+	triggered float64
+	exhausted bool
+	finalized bool
+
+	instances []*cloud.Instance
+	lastBill  map[*cloud.Instance]float64
+	cloudSrv  middleware.Server // CloudDuplication secondary
+}
+
+// NewService wires a SpeQuloS service to a DG server and a simulated cloud.
+func NewService(eng *sim.Engine, primary middleware.Server, simCloud *cloud.SimCloud, cfg Config) *Service {
+	if cfg.MonitorPeriod <= 0 {
+		cfg.MonitorPeriod = 60
+	}
+	s := &Service{
+		eng:     eng,
+		cfg:     cfg,
+		Info:    NewInformation(),
+		Credits: NewCreditSystem(),
+		Oracle:  NewOracle(cfg.Strategy),
+		Cloud:   simCloud,
+		primary: primary,
+		batches: map[string]*qosBatch{},
+	}
+	primary.AddListener(serviceListener{s})
+	return s
+}
+
+// serviceListener finalizes QoS support the instant a batch completes.
+type serviceListener struct{ s *Service }
+
+func (l serviceListener) TaskAssigned(string, int, float64)  {}
+func (l serviceListener) TaskCompleted(string, int, float64) {}
+func (l serviceListener) BatchCompleted(batchID string, at float64) {
+	if qb, ok := l.s.batches[batchID]; ok {
+		l.s.finalize(qb)
+	}
+}
+
+// RegisterQoS starts QoS support for a batch (the registerQoS call of
+// Fig 3). envKey identifies the execution environment for α calibration;
+// size is the BoT size. The batch must be submitted to the DG server by the
+// user separately, tagged with the same ID.
+func (s *Service) RegisterQoS(user, batchID, envKey string, size int) error {
+	if _, ok := s.batches[batchID]; ok {
+		return fmt.Errorf("core: batch %q already registered", batchID)
+	}
+	bi, err := s.Info.Track(batchID, envKey, size, s.eng.Now())
+	if err != nil {
+		return err
+	}
+	s.batches[batchID] = &qosBatch{
+		id: batchID, user: user, bi: bi, triggered: -1,
+		lastBill: map[*cloud.Instance]float64{},
+	}
+	s.order = append(s.order, batchID)
+	if s.ticker == nil {
+		s.ticker = s.eng.NewTicker(s.cfg.MonitorPeriod, s.tick)
+	}
+	return nil
+}
+
+// OrderQoS provisions credits for a batch from the user's account.
+func (s *Service) OrderQoS(user, batchID string, credits float64) error {
+	if _, ok := s.batches[batchID]; !ok {
+		return fmt.Errorf("core: batch %q not registered", batchID)
+	}
+	return s.Credits.OrderQoS(user, batchID, credits)
+}
+
+// Predict returns the Oracle's completion-time prediction for a batch
+// (the getQoSInformation call of Fig 3).
+func (s *Service) Predict(batchID string) (Prediction, error) {
+	bi := s.Info.Get(batchID)
+	if bi == nil {
+		return Prediction{}, fmt.Errorf("core: batch %q not registered", batchID)
+	}
+	s.observe(s.batches[batchID])
+	return s.Oracle.Predict(bi, s.eng.Now())
+}
+
+// Usage reports the cloud consumption of a batch so far.
+func (s *Service) Usage(batchID string) (CloudUsage, error) {
+	qb, ok := s.batches[batchID]
+	if !ok {
+		return CloudUsage{}, fmt.Errorf("core: batch %q not registered", batchID)
+	}
+	u := CloudUsage{
+		InstancesStarted: len(qb.instances),
+		Exhausted:        qb.exhausted,
+		TriggeredAt:      qb.triggered,
+	}
+	for _, inst := range qb.instances {
+		u.CPUSeconds += inst.CPUSeconds(s.eng.Now())
+	}
+	if o, ok := s.Credits.OrderOf(batchID); ok {
+		u.CreditsBilled = o.Billed
+		u.CreditsAllocated = o.Allocated
+	}
+	return u, nil
+}
+
+// tick is the combined Information/Scheduler monitor loop (Algorithms 1
+// and 2 of §3.6).
+func (s *Service) tick(now float64) {
+	active := 0
+	for _, id := range s.order {
+		qb := s.batches[id]
+		if qb.finalized {
+			continue
+		}
+		active++
+		s.observe(qb)
+		if qb.bi.Done() {
+			s.finalize(qb)
+			continue
+		}
+		s.manageCloudWorkers(qb) // Algorithm 2
+		s.maybeStartCloud(qb)    // Algorithm 1
+	}
+	if active == 0 && s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// observe samples the primary server's view of the batch.
+func (s *Service) observe(qb *qosBatch) {
+	if qb == nil || qb.finalized {
+		return
+	}
+	p := s.primary.Progress(qb.id)
+	qb.bi.AddSampleWorkers(s.eng.Now(), p.Completed, p.EverAssigned, p.Queued, p.Running, p.Workers)
+}
+
+// manageCloudWorkers bills running instances and stops the ones no longer
+// useful or fundable (Algorithm 2).
+func (s *Service) manageCloudWorkers(qb *qosBatch) {
+	now := s.eng.Now()
+	for _, inst := range qb.instances {
+		if !inst.Running() {
+			continue
+		}
+		sec := now - qb.lastBill[inst]
+		qb.lastBill[inst] = now
+		_, exhausted, err := s.Credits.Bill(qb.id, s.Credits.CreditsForCPUSeconds(sec))
+		if err != nil || exhausted {
+			qb.exhausted = true
+			break
+		}
+	}
+	if qb.exhausted {
+		s.stopInstances(qb)
+		return
+	}
+	// Greedy releases credits by stopping cloud workers that obtained no
+	// work ("Cloud workers that do not have tasks assigned stop
+	// immediately", §3.5).
+	if _, greedy := s.cfg.Strategy.Sizing.(Greedy); greedy {
+		for _, inst := range qb.instances {
+			if inst.Running() && inst.Booted() && !inst.Busy() {
+				s.billInstanceFinal(qb, inst)
+				s.Cloud.Stop(inst)
+			}
+		}
+	}
+}
+
+// maybeStartCloud triggers cloud support when the Oracle says so
+// (Algorithm 1).
+func (s *Service) maybeStartCloud(qb *qosBatch) {
+	if qb.started || qb.exhausted {
+		return
+	}
+	if !s.Credits.HasCredits(qb.id) {
+		return
+	}
+	if !s.Oracle.ShouldUseCloud(qb.bi) {
+		return
+	}
+	order, _ := s.Credits.OrderOf(qb.id)
+	allowance := s.Credits.CPUHoursFor(order.Remaining())
+	n := s.Oracle.CloudWorkersToStart(qb.bi, allowance, s.eng.Now())
+	remaining := qb.bi.Size - qb.bi.Last().Completed
+	if n > remaining {
+		n = remaining
+	}
+	if n <= 0 {
+		return
+	}
+	qb.started = true
+	qb.triggered = s.eng.Now()
+
+	target := s.primary
+	flat := false
+	switch s.cfg.Strategy.Deploy {
+	case Flat:
+		flat = true
+	case Reschedule:
+		s.primary.SetReschedule(true)
+	case CloudDuplication:
+		target = s.startCloudServer(qb)
+	}
+	for i := 0; i < n; i++ {
+		inst := s.Cloud.Start(target, qb.id, flat)
+		qb.instances = append(qb.instances, inst)
+		qb.lastBill[inst] = s.eng.Now()
+	}
+}
+
+// startCloudServer spins up the dedicated cloud-hosted server of the
+// CloudDuplication strategy, mirrors the uncompleted tail onto it, and
+// wires bidirectional result merging.
+func (s *Service) startCloudServer(qb *qosBatch) middleware.Server {
+	factory := s.cfg.CloudServerFactory
+	if factory == nil {
+		panic("core: CloudDuplication requires a CloudServerFactory")
+	}
+	sec := factory()
+	tail := s.primary.Incomplete(qb.id)
+	sec.Submit(middleware.Batch{ID: qb.id, Tasks: tail})
+	// Results computed in the cloud complete the primary's tasks; results
+	// arriving on the primary abort the cloud copies.
+	sec.AddListener(mirror{from: sec, to: s.primary, batchID: qb.id})
+	s.primary.AddListener(mirror{from: s.primary, to: sec, batchID: qb.id})
+	qb.cloudSrv = sec
+	return sec
+}
+
+// mirror merges completions between the primary and the cloud server.
+type mirror struct {
+	from, to middleware.Server
+	batchID  string
+}
+
+func (m mirror) TaskAssigned(string, int, float64) {}
+func (m mirror) TaskCompleted(batchID string, taskID int, _ float64) {
+	if batchID == m.batchID {
+		m.to.MarkCompleted(batchID, taskID)
+	}
+}
+func (m mirror) BatchCompleted(string, float64) {}
+
+// billInstanceFinal settles an instance's outstanding usage before a stop.
+func (s *Service) billInstanceFinal(qb *qosBatch, inst *cloud.Instance) {
+	if !inst.Running() {
+		return
+	}
+	now := s.eng.Now()
+	sec := now - qb.lastBill[inst]
+	qb.lastBill[inst] = now
+	if _, exhausted, err := s.Credits.Bill(qb.id, s.Credits.CreditsForCPUSeconds(sec)); err == nil && exhausted {
+		qb.exhausted = true
+	}
+}
+
+// stopInstances settles and terminates every running instance of a batch.
+func (s *Service) stopInstances(qb *qosBatch) {
+	for _, inst := range qb.instances {
+		if inst.Running() {
+			s.billInstanceFinal(qb, inst)
+			s.Cloud.Stop(inst)
+		}
+	}
+}
+
+// finalize ends QoS support: settles billing, stops cloud workers, pays the
+// order (refunding leftovers), archives the execution for α calibration.
+func (s *Service) finalize(qb *qosBatch) {
+	if qb.finalized {
+		return
+	}
+	s.observe(qb)
+	qb.finalized = true
+	s.stopInstances(qb)
+	if _, ok := s.Credits.OrderOf(qb.id); ok {
+		s.Credits.Pay(qb.id)
+	}
+	if qb.bi.Done() {
+		// Archive the (base, actual) pair measured at 50% completion, the
+		// evaluation point of Table 4.
+		if tc50, ok := qb.bi.TimeAtCompletion(0.5); ok && tc50 > 0 {
+			s.Oracle.Calibration.Record(qb.bi.EnvKey, tc50/0.5, qb.bi.CompletedAt)
+		}
+	}
+}

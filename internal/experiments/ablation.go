@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spequlos/internal/bot"
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/metrics"
+	"spequlos/internal/middleware"
+	"spequlos/internal/sim"
+	"spequlos/internal/xwhep"
+)
+
+// This file holds ablation studies of the design choices DESIGN.md calls
+// out: the 10%-of-workload credit provisioning (§4.1.3), the one-minute
+// monitoring period (§3.2), and the §7 future-work capacity-aware trigger
+// versus the plain completion threshold.
+
+// AblationPoint is one setting's aggregate outcome over a mini-matrix.
+type AblationPoint struct {
+	Setting      string
+	MeanSpeedup  float64 // baseline time / SpeQuloS time (completed pairs)
+	MeanTRE      float64
+	MeanSpentPct float64 // billed/allocated
+	Runs         int
+}
+
+// runAblationCell runs one paired scenario with a custom service
+// configuration and returns (speedup, TRE, spentFraction, ok).
+func runAblationCell(sc Scenario, cfg core.Config, creditFraction float64) (float64, float64, float64, bool) {
+	base := Run(sc)
+	if !base.Completed {
+		return 0, 0, 0, false
+	}
+	speq := runWithConfig(sc, cfg, creditFraction)
+	if !speq.Completed || speq.CompletionTime <= 0 {
+		return 0, 0, 0, false
+	}
+	tre, _ := metrics.TailRemovalEfficiency(speq.CompletionTime, base.CompletionTime, base.Tail.IdealTime)
+	spent := 0.0
+	if speq.CreditsAllocated > 0 {
+		spent = speq.CreditsBilled / speq.CreditsAllocated
+	}
+	return base.CompletionTime / speq.CompletionTime, tre, spent, true
+}
+
+// runWithConfig is Run with full control of the service configuration —
+// the knob the ablations turn.
+func runWithConfig(sc Scenario, cfg core.Config, creditFraction float64) Result {
+	horizon := sc.Profile.HorizonDays * 86400
+	seed := sc.Seed()
+	res := Result{
+		Middleware: sc.Middleware, TraceName: sc.TraceName, BotClass: sc.BotClass,
+		Offset: sc.Offset, Seed: seed, Strategy: cfg.Strategy.Label(),
+	}
+	src, err := TraceSource(sc.TraceName)
+	if err != nil {
+		panic(err)
+	}
+	class, _ := bot.ClassByName(sc.BotClass)
+	if sc.Profile.BotScale > 0 && sc.Profile.BotScale != 1 {
+		class = class.Scaled(sc.Profile.BotScale)
+	}
+	eng := sim.NewEngine()
+	srv := newServer(eng, sc.Middleware)
+	tr := src.Generate(seed, horizon, sc.Profile.PoolCap)
+	middleware.BindTrace(eng, tr, srv)
+	botID := "ablation"
+	workload := class.Generate(botID, seed)
+	res.Size = workload.Size()
+	rec := &recorder{batchID: botID}
+	srv.AddListener(rec)
+
+	simCloud := cloud.NewSimCloud(eng, cloud.DefaultSimConfig(), sim.NewRNG(seed))
+	if cfg.CloudServerFactory == nil {
+		cfg.CloudServerFactory = func() middleware.Server { return xwhep.New(eng, xwhep.DefaultConfig()) }
+	}
+	svc := core.NewService(eng, srv, simCloud, cfg)
+	if err := svc.RegisterQoS("user", botID, sc.EnvKey(), workload.Size()); err != nil {
+		panic(err)
+	}
+	credits := creditFraction * workload.WorkloadCPUHours() * svc.Credits.Rate()
+	if credits > 0 {
+		svc.Credits.Deposit("user", credits)
+		if err := svc.OrderQoS("user", botID, credits); err != nil {
+			panic(err)
+		}
+		res.CreditsAllocated = credits
+	}
+	srv.Submit(middleware.BatchFromBoT(workload))
+	eng.RunWhile(func() bool { return !srv.Done(botID) && eng.Now() <= horizon })
+	res.Completed = srv.Done(botID)
+	if res.Completed {
+		res.CompletionTime = eng.Now()
+		if tail, ok := metrics.ComputeTail(rec.completions); ok {
+			res.Tail = tail
+		}
+	}
+	if u, err := svc.Usage(botID); err == nil {
+		res.CreditsBilled = u.CreditsBilled
+		res.CloudCPUSeconds = u.CPUSeconds
+		res.Instances = u.InstancesStarted
+		res.TriggeredAt = u.TriggeredAt
+	}
+	return res
+}
+
+// ablationScenarios is the mini-matrix the sweeps run over: the volatile
+// environments where SpeQuloS matters.
+func ablationScenarios(p Profile) []Scenario {
+	var out []Scenario
+	for _, mw := range Middlewares() {
+		for _, tn := range []string{"seti", "g5klyo"} {
+			for off := 0; off < p.Offsets; off++ {
+				out = append(out, Scenario{
+					Profile: p, Middleware: mw, TraceName: tn, BotClass: "SMALL", Offset: off,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func aggregate(setting string, scs []Scenario, cfg core.Config, frac float64) AblationPoint {
+	pt := AblationPoint{Setting: setting}
+	var su, tre, spent float64
+	for _, sc := range scs {
+		s, t, sp, ok := runAblationCell(sc, cfg, frac)
+		if !ok {
+			continue
+		}
+		su += s
+		tre += t
+		spent += sp
+		pt.Runs++
+	}
+	if pt.Runs > 0 {
+		pt.MeanSpeedup = su / float64(pt.Runs)
+		pt.MeanTRE = tre / float64(pt.Runs)
+		pt.MeanSpentPct = spent / float64(pt.Runs)
+	}
+	return pt
+}
+
+// CreditFractionSweep varies the provisioned credits (the paper fixes them
+// at 10% of the BoT workload) and reports the QoS/cost trade-off.
+func CreditFractionSweep(p Profile, fractions []float64) []AblationPoint {
+	if len(fractions) == 0 {
+		fractions = []float64{0.02, 0.05, 0.10, 0.20}
+	}
+	scs := ablationScenarios(p)
+	var out []AblationPoint
+	for _, f := range fractions {
+		cfg := core.Config{Strategy: core.DefaultStrategy(), MonitorPeriod: 60}
+		out = append(out, aggregate(fmt.Sprintf("credits=%.0f%%", f*100), scs, cfg, f))
+	}
+	return out
+}
+
+// MonitorPeriodSweep varies the Information/Scheduler loop period (the
+// paper monitors per minute; slower monitoring delays tail detection).
+func MonitorPeriodSweep(p Profile, periods []float64) []AblationPoint {
+	if len(periods) == 0 {
+		periods = []float64{30, 60, 300, 900}
+	}
+	scs := ablationScenarios(p)
+	var out []AblationPoint
+	for _, period := range periods {
+		cfg := core.Config{Strategy: core.DefaultStrategy(), MonitorPeriod: period}
+		out = append(out, aggregate(fmt.Sprintf("period=%.0fs", period), scs, cfg, p.CreditFraction))
+	}
+	return out
+}
+
+// TriggerAblation compares the plain completion threshold against the
+// capacity-aware anticipation trigger (§7 future work).
+func TriggerAblation(p Profile) []AblationPoint {
+	scs := ablationScenarios(p)
+	var out []AblationPoint
+	for _, tr := range []core.Trigger{
+		core.CompletionThreshold{Frac: 0.9},
+		core.DefaultCapacityAware(),
+	} {
+		cfg := core.Config{
+			Strategy:      core.Strategy{Trigger: tr, Sizing: core.Conservative{}, Deploy: core.Reschedule},
+			MonitorPeriod: 60,
+		}
+		out = append(out, aggregate("trigger="+tr.Code(), scs, cfg, p.CreditFraction))
+	}
+	return out
+}
+
+// RenderAblation prints ablation points as a table.
+func RenderAblation(title string, pts []AblationPoint) string {
+	tbl := TextTable{
+		Title:   title,
+		Headers: []string{"setting", "mean speedup", "mean TRE", "credits used", "runs"},
+	}
+	for _, pt := range pts {
+		tbl.AddRow(pt.Setting, f2(pt.MeanSpeedup), f2(pt.MeanTRE), pc(pt.MeanSpentPct),
+			fmt.Sprintf("%d", pt.Runs))
+	}
+	return tbl.String()
+}
+
+// MiddlewareComparison runs the same workloads over all three middleware —
+// the comparison the paper's §2.2 leaves open ("Condor and OurGrid would
+// have also been excellent candidates"). Condor's checkpoint/migration
+// model sits between BOINC (resume, but day-long failure detection) and
+// XWHEP (15-minute detection, but full restarts).
+type MiddlewareComparisonRow struct {
+	Middleware     string
+	MeanCompletion float64
+	MeanSlowdown   float64
+	Runs           int
+}
+
+// CompareMiddleware runs baseline executions of one workload class across
+// the three middleware on the given traces.
+func CompareMiddleware(p Profile, traces []string, botClass string) []MiddlewareComparisonRow {
+	if len(traces) == 0 {
+		traces = []string{"seti", "g5klyo"}
+	}
+	var out []MiddlewareComparisonRow
+	for _, mw := range AllMiddlewares() {
+		row := MiddlewareComparisonRow{Middleware: mw}
+		var comp, slow float64
+		for _, tn := range traces {
+			for off := 0; off < p.Offsets; off++ {
+				res := Run(Scenario{Profile: p, Middleware: mw, TraceName: tn, BotClass: botClass, Offset: off})
+				if !res.Completed {
+					continue
+				}
+				comp += res.CompletionTime
+				slow += res.Tail.Slowdown
+				row.Runs++
+			}
+		}
+		if row.Runs > 0 {
+			row.MeanCompletion = comp / float64(row.Runs)
+			row.MeanSlowdown = slow / float64(row.Runs)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderMiddlewareComparison prints the comparison table.
+func RenderMiddlewareComparison(rows []MiddlewareComparisonRow, botClass string) string {
+	tbl := TextTable{
+		Title:   "Middleware comparison (" + botClass + " baselines; CONDOR is the extension)",
+		Headers: []string{"middleware", "mean completion (s)", "mean tail slowdown", "runs"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Middleware, f0(r.MeanCompletion), f2(r.MeanSlowdown), fmt.Sprintf("%d", r.Runs))
+	}
+	return tbl.String()
+}

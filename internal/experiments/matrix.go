@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"spequlos/internal/core"
+)
+
+// Pair bundles a baseline run with its same-seed SpeQuloS runs, keyed by
+// strategy label.
+type Pair struct {
+	Base Result
+	Speq map[string]Result
+}
+
+// Matrix is the full outcome of a matrix campaign.
+type Matrix struct {
+	Profile    Profile
+	Strategies []string // labels, in order
+	Pairs      []Pair
+}
+
+// MatrixSpec restricts a campaign. Zero-value fields mean "all".
+type MatrixSpec struct {
+	Middlewares []string
+	Traces      []string
+	Bots        []string
+	Strategies  []core.Strategy
+	// Log, when non-nil, receives one line per finished scenario.
+	Log io.Writer
+}
+
+func (s MatrixSpec) middlewares() []string {
+	if len(s.Middlewares) == 0 {
+		return Middlewares()
+	}
+	return s.Middlewares
+}
+func (s MatrixSpec) traces() []string {
+	if len(s.Traces) == 0 {
+		return TraceNames()
+	}
+	return s.Traces
+}
+func (s MatrixSpec) bots() []string {
+	if len(s.Bots) == 0 {
+		return BotClasses()
+	}
+	return s.Bots
+}
+
+// RunMatrix executes the campaign: for every (middleware, trace, bot,
+// offset) cell it runs the baseline and one SpeQuloS run per strategy, all
+// from the same seed. Cells run in parallel; results keep deterministic
+// order.
+func RunMatrix(p Profile, spec MatrixSpec) Matrix {
+	type job struct {
+		idx int
+		sc  Scenario
+	}
+	var jobs []job
+	for _, mw := range spec.middlewares() {
+		for _, tn := range spec.traces() {
+			for _, bc := range spec.bots() {
+				for off := 0; off < p.Offsets; off++ {
+					jobs = append(jobs, job{idx: len(jobs), sc: Scenario{
+						Profile: p, Middleware: mw, TraceName: tn, BotClass: bc, Offset: off,
+					}})
+				}
+			}
+		}
+	}
+	labels := make([]string, len(spec.Strategies))
+	for i, st := range spec.Strategies {
+		labels[i] = st.Label()
+	}
+	pairs := make([]Pair, len(jobs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.workers())
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pair := Pair{Speq: map[string]Result{}}
+			pair.Base = Run(j.sc)
+			for _, st := range spec.Strategies {
+				st := st
+				scs := j.sc
+				scs.Strategy = &st
+				pair.Speq[st.Label()] = Run(scs)
+			}
+			mu.Lock()
+			pairs[j.idx] = pair
+			if spec.Log != nil {
+				fmt.Fprintf(spec.Log, "done %s/%s/%s #%d (base %.0fs, %d strategies)\n",
+					j.sc.Middleware, j.sc.TraceName, j.sc.BotClass, j.sc.Offset,
+					pair.Base.CompletionTime, len(spec.Strategies))
+			}
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	return Matrix{Profile: p, Strategies: labels, Pairs: pairs}
+}
+
+// BaseResults extracts the baseline runs.
+func (m Matrix) BaseResults() []Result {
+	out := make([]Result, 0, len(m.Pairs))
+	for _, p := range m.Pairs {
+		out = append(out, p.Base)
+	}
+	return out
+}
+
+// StrategyResults extracts the runs of one strategy label.
+func (m Matrix) StrategyResults(label string) []Result {
+	var out []Result
+	for _, p := range m.Pairs {
+		if r, ok := p.Speq[label]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}

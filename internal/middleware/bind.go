@@ -1,0 +1,61 @@
+package middleware
+
+import (
+	"spequlos/internal/sim"
+	"spequlos/internal/trace"
+)
+
+// Binding drives worker churn on a server from an availability trace. Each
+// trace node becomes one persistent Worker whose join/leave events follow
+// the node's availability intervals. Events are scheduled lazily — one
+// pending event per node — so simulations that finish early never pay for
+// the rest of the trace.
+type Binding struct {
+	eng     *sim.Engine
+	srv     Server
+	workers []*Worker
+	stopped bool
+}
+
+// BindTrace attaches every node of the trace to the server, starting at the
+// current virtual time (trace time zero is "now").
+func BindTrace(eng *sim.Engine, tr *trace.Trace, srv Server) *Binding {
+	b := &Binding{eng: eng, srv: srv}
+	base := eng.Now()
+	for _, node := range tr.Nodes {
+		if len(node.Intervals) == 0 {
+			continue
+		}
+		w := &Worker{ID: node.ID, Power: node.Power}
+		b.workers = append(b.workers, w)
+		b.scheduleJoin(w, node, 0, base)
+	}
+	return b
+}
+
+func (b *Binding) scheduleJoin(w *Worker, node *trace.Node, idx int, base float64) {
+	if idx >= len(node.Intervals) {
+		return
+	}
+	iv := node.Intervals[idx]
+	b.eng.At(base+iv.Start, func() {
+		if b.stopped {
+			return
+		}
+		b.srv.WorkerJoin(w)
+		b.eng.At(base+iv.End, func() {
+			if b.stopped {
+				return
+			}
+			b.srv.WorkerLeave(w)
+			b.scheduleJoin(w, node, idx+1, base)
+		})
+	})
+}
+
+// Stop detaches the binding: future churn events become no-ops. Workers
+// currently attached stay attached.
+func (b *Binding) Stop() { b.stopped = true }
+
+// Workers returns the workers managed by the binding.
+func (b *Binding) Workers() []*Worker { return b.workers }

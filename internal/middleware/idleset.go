@@ -1,0 +1,80 @@
+package middleware
+
+// IdleSet tracks workers waiting for work with O(1) add/remove (swap
+// removal), which matters under trace-driven churn where thousands of idle
+// workers join and leave per simulated hour.
+type IdleSet struct {
+	list  []*Worker
+	pos   map[*Worker]int
+	cloud int
+}
+
+// NewIdleSet returns an empty set.
+func NewIdleSet() *IdleSet { return &IdleSet{pos: map[*Worker]int{}} }
+
+// Len returns the number of idle workers.
+func (s *IdleSet) Len() int { return len(s.list) }
+
+// CloudCount returns the number of idle cloud workers.
+func (s *IdleSet) CloudCount() int { return s.cloud }
+
+// Contains reports membership.
+func (s *IdleSet) Contains(w *Worker) bool {
+	_, ok := s.pos[w]
+	return ok
+}
+
+// Add inserts a worker; adding a member twice is a no-op.
+func (s *IdleSet) Add(w *Worker) {
+	if _, ok := s.pos[w]; ok {
+		return
+	}
+	s.pos[w] = len(s.list)
+	s.list = append(s.list, w)
+	if w.Cloud {
+		s.cloud++
+	}
+}
+
+// Remove deletes a worker, reporting whether it was present.
+func (s *IdleSet) Remove(w *Worker) bool {
+	i, ok := s.pos[w]
+	if !ok {
+		return false
+	}
+	last := len(s.list) - 1
+	if i != last {
+		s.list[i] = s.list[last]
+		s.pos[s.list[i]] = i
+	}
+	s.list = s.list[:last]
+	delete(s.pos, w)
+	if w.Cloud {
+		s.cloud--
+	}
+	return true
+}
+
+// Pick returns the first worker (in arbitrary order) accepted by match and
+// removes it. It returns nil when none matches. skipBatch lets callers
+// memoize batches already known to have no eligible work this round.
+func (s *IdleSet) Pick(match func(*Worker) bool) *Worker {
+	for i := len(s.list) - 1; i >= 0; i-- {
+		w := s.list[i]
+		if match(w) {
+			s.Remove(w)
+			return w
+		}
+	}
+	return nil
+}
+
+// Each iterates over a snapshot of the idle workers.
+func (s *IdleSet) Each(fn func(*Worker) bool) {
+	snapshot := append([]*Worker(nil), s.list...)
+	for _, w := range snapshot {
+		if !fn(w) {
+			return
+		}
+	}
+}

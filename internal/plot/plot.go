@@ -1,0 +1,245 @@
+// Package plot renders the evaluation's figures as standalone SVG files:
+// line charts for the CDF/CCDF figures (Fig 2, Fig 4) and grouped bar
+// charts for the comparison figures (Fig 5, Fig 6). Pure stdlib, no
+// styling dependencies — the same role gnuplot plays for the paper.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Dashed bool
+}
+
+// palette cycles through distinguishable stroke colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+	"#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const (
+	width   = 720.0
+	height  = 440.0
+	marginL = 70.0
+	marginR = 24.0
+	marginT = 40.0
+	marginB = 56.0
+)
+
+// LineChart is a multi-series XY chart with linear or log-10 X axis.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	Series []Series
+	// YMin/YMax fix the Y range; both zero = auto.
+	YMin, YMax float64
+}
+
+// WriteSVG renders the chart.
+func (c LineChart) WriteSVG(w io.Writer) error {
+	var xs, ys []float64
+	for _, s := range c.Series {
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("plot: empty chart %q", c.Title)
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	tx := func(x float64) float64 {
+		if c.LogX {
+			lx, lmin, lmax := math.Log10(math.Max(x, 1e-12)), math.Log10(math.Max(xmin, 1e-12)), math.Log10(math.Max(xmax, 1e-12))
+			return marginL + (lx-lmin)/(lmax-lmin)*(width-marginL-marginR)
+		}
+		return marginL + (x-xmin)/(xmax-xmin)*(width-marginL-marginR)
+	}
+	ty := func(y float64) float64 {
+		return height - marginB - (y-ymin)/(ymax-ymin)*(height-marginT-marginB)
+	}
+
+	var b strings.Builder
+	header(&b, c.Title)
+	axes(&b, c.XLabel, c.YLabel)
+	// Y grid lines + labels at 5 ticks.
+	for i := 0; i <= 4; i++ {
+		y := ymin + float64(i)/4*(ymax-ymin)
+		py := ty(y)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py, width-marginR, py)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%.2g</text>`+"\n",
+			marginL-6, py+4, y)
+	}
+	// X ticks.
+	for i := 0; i <= 4; i++ {
+		var x float64
+		if c.LogX {
+			lmin, lmax := math.Log10(math.Max(xmin, 1e-12)), math.Log10(math.Max(xmax, 1e-12))
+			x = math.Pow(10, lmin+float64(i)/4*(lmax-lmin))
+		} else {
+			x = xmin + float64(i)/4*(xmax-xmin)
+		}
+		px := tx(x)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%.3g</text>`+"\n",
+			px, height-marginB+16, x)
+	}
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(s.X[j]), ty(s.Y[j])))
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2"%s points="%s"/>`+"\n",
+			color, dash, strings.Join(pts, " "))
+		// Legend entry.
+		lx, ly := width-marginR-150, marginT+14*float64(i)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"%s/>`+"\n",
+			lx, ly, lx+22, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", lx+28, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BarGroup is one cluster of bars sharing an X label.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart is a grouped bar chart (Fig 5/6 style).
+type BarChart struct {
+	Title  string
+	YLabel string
+	Bars   []string // names of the per-group bars
+	Groups []BarGroup
+	LogY   bool
+}
+
+// WriteSVG renders the chart.
+func (c BarChart) WriteSVG(w io.Writer) error {
+	if len(c.Groups) == 0 || len(c.Bars) == 0 {
+		return fmt.Errorf("plot: empty bar chart %q", c.Title)
+	}
+	ymax := 0.0
+	for _, g := range c.Groups {
+		for _, v := range g.Values {
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	scale := func(v float64) float64 {
+		if c.LogY {
+			return math.Log10(1+v) / math.Log10(1+ymax)
+		}
+		return v / ymax
+	}
+	var b strings.Builder
+	header(&b, c.Title)
+	axes(&b, "", c.YLabel)
+	plotW := width - marginL - marginR
+	groupW := plotW / float64(len(c.Groups))
+	barW := groupW * 0.8 / float64(len(c.Bars))
+	for gi, g := range c.Groups {
+		gx := marginL + float64(gi)*groupW + groupW*0.1
+		for bi, v := range g.Values {
+			if bi >= len(c.Bars) {
+				break
+			}
+			h := scale(v) * (height - marginT - marginB)
+			x := gx + float64(bi)*barW
+			y := height - marginB - h
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.4g</title></rect>`+"\n",
+				x, y, barW*0.92, h, palette[bi%len(palette)], esc(g.Label), esc(c.Bars[bi]), v)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW*0.4, height-marginB+16, esc(g.Label))
+	}
+	for bi, name := range c.Bars {
+		lx, ly := width-marginR-150, marginT+14*float64(bi)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="10" fill="%s"/>`+"\n",
+			lx, ly-8, palette[bi%len(palette)])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", lx+18, ly, esc(name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(b, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%.1f" y="22" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, esc(title))
+}
+
+func axes(b *strings.Builder, xlabel, ylabel string) {
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	if xlabel != "" {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			(marginL+width-marginR)/2, height-12, esc(xlabel))
+	}
+	if ylabel != "" {
+		fmt.Fprintf(b, `<text x="16" y="%.1f" font-size="12" transform="rotate(-90 16 %.1f)" text-anchor="middle">%s</text>`+"\n",
+			(marginT+height-marginB)/2, (marginT+height-marginB)/2, esc(ylabel))
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func minMax(xs []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// SortedKeys returns map keys in stable order (helper for chart builders).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,129 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLineChartSVG(t *testing.T) {
+	c := LineChart{
+		Title: "CDF of tail slowdown", XLabel: "slowdown", YLabel: "fraction",
+		LogX: true,
+		Series: []Series{
+			{Name: "BOINC", X: []float64{1, 2, 5, 10, 100}, Y: []float64{0.1, 0.3, 0.6, 0.8, 1}},
+			{Name: "XWHEP", X: []float64{1, 2, 5, 10, 100}, Y: []float64{0.2, 0.5, 0.9, 1, 1}, Dashed: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "BOINC", "XWHEP", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("series count wrong")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (LineChart{Title: "x"}).WriteSVG(&buf); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+}
+
+func TestLineChartDegenerateRanges(t *testing.T) {
+	c := LineChart{
+		Title:  "flat",
+		Series: []Series{{Name: "s", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := BarChart{
+		Title: "completion time", YLabel: "seconds",
+		Bars: []string{"No SpeQuloS", "SpeQuloS"},
+		Groups: []BarGroup{
+			{Label: "seti", Values: []float64{27679, 13164}},
+			{Label: "nd", Values: []float64{85348, 57289}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if strings.Count(svg, "<rect") < 5 { // background + 4 bars + legend
+		t.Errorf("bars missing: %d rects", strings.Count(svg, "<rect"))
+	}
+	for _, want := range []string{"seti", "nd", "SpeQuloS"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (BarChart{Title: "x"}).WriteSVG(&buf); err == nil {
+		t.Fatal("empty bar chart accepted")
+	}
+	// All-zero values must not divide by zero.
+	c := BarChart{Title: "z", Bars: []string{"a"}, Groups: []BarGroup{{Label: "g", Values: []float64{0}}}}
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := BarChart{
+		Title: `<&">`, YLabel: "y",
+		Bars:   []string{"a<b"},
+		Groups: []BarGroup{{Label: "g&h", Values: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if strings.Contains(svg, "<&\">") || strings.Contains(svg, "a<b") {
+		t.Fatal("unescaped markup leaked into SVG")
+	}
+	if !strings.Contains(svg, "&lt;&amp;&quot;&gt;") {
+		t.Fatal("escape output wrong")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]int{"c": 1, "a": 2, "b": 3})
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestLogYBars(t *testing.T) {
+	c := BarChart{
+		Title: "log", YLabel: "t", LogY: true,
+		Bars:   []string{"v"},
+		Groups: []BarGroup{{Label: "g", Values: []float64{10}}, {Label: "h", Values: []float64{100000}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"spequlos/internal/core"
+)
+
+// CreditService exposes the Credit System over HTTP (§3.3):
+//
+//	POST /deposit            {user, credits}
+//	POST /orders             {user, batch_id, credits}
+//	POST /orders/{id}/bill   {credits} → {billed, exhausted}
+//	POST /orders/{id}/pay    → {refund}
+//	GET  /orders/{id}
+//	GET  /accounts/{user}
+//	GET  /has-credits/{id}   → {has_credits}
+type CreditService struct {
+	credits *core.CreditSystem
+}
+
+// NewCreditService wraps a credit system.
+func NewCreditService(cs *core.CreditSystem) *CreditService {
+	return &CreditService{credits: cs}
+}
+
+// Credits exposes the wrapped system (for co-located modules).
+func (s *CreditService) Credits() *core.CreditSystem { return s.credits }
+
+// DepositRequest funds a user account.
+type DepositRequest struct {
+	User    string  `json:"user"`
+	Credits float64 `json:"credits"`
+}
+
+// OrderRequest provisions credits for a batch.
+type OrderRequest struct {
+	User    string  `json:"user"`
+	BatchID string  `json:"batch_id"`
+	Credits float64 `json:"credits"`
+}
+
+// BillRequest charges cloud usage to a batch order.
+type BillRequest struct {
+	Credits float64 `json:"credits"`
+}
+
+// BillReply reports the outcome of a billing call.
+type BillReply struct {
+	Billed    float64 `json:"billed"`
+	Exhausted bool    `json:"exhausted"`
+}
+
+// PayReply reports the refund of a closed order.
+type PayReply struct {
+	Refund float64 `json:"refund"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *CreditService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/deposit":
+		var req DepositRequest
+		if err := readJSON(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.credits.Deposit(req.User, req.Credits); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.creditsAccount(req.User))
+
+	case r.Method == http.MethodPost && r.URL.Path == "/orders":
+		var req OrderRequest
+		if err := readJSON(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.credits.OrderQoS(req.User, req.BatchID, req.Credits); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		o, _ := s.credits.OrderOf(req.BatchID)
+		writeJSON(w, http.StatusCreated, o)
+
+	case r.Method == http.MethodPost && segmentsMatch(r.URL.Path, "orders", "bill"):
+		id := middleSegment(r.URL.Path, "orders")
+		var req BillRequest
+		if err := readJSON(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		billed, exhausted, err := s.credits.Bill(id, req.Credits)
+		if err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, BillReply{Billed: billed, Exhausted: exhausted})
+
+	case r.Method == http.MethodPost && segmentsMatch(r.URL.Path, "orders", "pay"):
+		id := middleSegment(r.URL.Path, "orders")
+		refund, err := s.credits.Pay(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, PayReply{Refund: refund})
+
+	case r.Method == http.MethodGet && pathTail(r.URL.Path, "/orders/") != "":
+		id := pathTail(r.URL.Path, "/orders/")
+		o, ok := s.credits.OrderOf(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no order for batch %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, o)
+
+	case r.Method == http.MethodGet && pathTail(r.URL.Path, "/accounts/") != "":
+		writeJSON(w, http.StatusOK, s.creditsAccount(pathTail(r.URL.Path, "/accounts/")))
+
+	case r.Method == http.MethodGet && pathTail(r.URL.Path, "/has-credits/") != "":
+		id := pathTail(r.URL.Path, "/has-credits/")
+		writeJSON(w, http.StatusOK, map[string]bool{"has_credits": s.credits.HasCredits(id)})
+
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+	}
+}
+
+func (s *CreditService) creditsAccount(user string) core.Account {
+	return s.credits.AccountOf(user)
+}
+
+func segmentsMatch(path, first, last string) bool {
+	parts := splitSegments(path)
+	return len(parts) == 3 && parts[0] == first && parts[2] == last
+}
+
+func middleSegment(path, first string) string {
+	parts := splitSegments(path)
+	if len(parts) == 3 && parts[0] == first {
+		return parts[1]
+	}
+	return ""
+}
+
+// CreditClient is the typed client of the Credit service.
+type CreditClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewCreditClient builds a client for the given base URL.
+func NewCreditClient(baseURL string) *CreditClient {
+	return &CreditClient{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *CreditClient) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	return decodeReply(resp, out)
+}
+
+// Deposit funds a user account.
+func (c *CreditClient) Deposit(user string, credits float64) error {
+	return c.post("/deposit", DepositRequest{User: user, Credits: credits}, nil)
+}
+
+// Order provisions credits for a batch.
+func (c *CreditClient) Order(user, batchID string, credits float64) error {
+	return c.post("/orders", OrderRequest{User: user, BatchID: batchID, Credits: credits}, nil)
+}
+
+// Bill charges credits against a batch order.
+func (c *CreditClient) Bill(batchID string, credits float64) (BillReply, error) {
+	var out BillReply
+	err := c.post("/orders/"+batchID+"/bill", BillRequest{Credits: credits}, &out)
+	return out, err
+}
+
+// Pay closes an order, returning the refund.
+func (c *CreditClient) Pay(batchID string) (float64, error) {
+	var out PayReply
+	err := c.post("/orders/"+batchID+"/pay", struct{}{}, &out)
+	return out.Refund, err
+}
+
+// HasCredits reports whether a batch has an open, funded order.
+func (c *CreditClient) HasCredits(batchID string) (bool, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/has-credits/" + batchID)
+	if err != nil {
+		return false, err
+	}
+	var out map[string]bool
+	if err := decodeReply(resp, &out); err != nil {
+		return false, err
+	}
+	return out["has_credits"], nil
+}
+
+// Account fetches a user's account.
+func (c *CreditClient) Account(user string) (core.Account, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/accounts/" + user)
+	if err != nil {
+		return core.Account{}, err
+	}
+	var a core.Account
+	err = decodeReply(resp, &a)
+	return a, err
+}
+
+// OrderOf fetches a batch's order.
+func (c *CreditClient) OrderOf(batchID string) (core.Order, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/orders/" + batchID)
+	if err != nil {
+		return core.Order{}, err
+	}
+	var o core.Order
+	err = decodeReply(resp, &o)
+	return o, err
+}

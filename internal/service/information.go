@@ -1,0 +1,245 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"spequlos/internal/core"
+)
+
+// InformationService exposes the Information module over HTTP:
+//
+//	POST /batches                     register a batch for monitoring
+//	POST /batches/{id}/samples       append a monitoring sample
+//	GET  /batches/{id}               batch status summary
+//	GET  /batches                    list tracked batch IDs
+//
+// Samples arrive from DG-side monitors (a few hundred bytes per minute per
+// BoT, as §3.2 notes), so one Information service can archive many BoTs and
+// infrastructures simultaneously.
+type InformationService struct {
+	mu    sync.RWMutex
+	info  *core.Information
+	start time.Time
+}
+
+// NewInformationService wraps an Information archive.
+func NewInformationService(info *core.Information) *InformationService {
+	return &InformationService{info: info, start: time.Now()}
+}
+
+// TrackRequest registers a batch.
+type TrackRequest struct {
+	BatchID     string  `json:"batch_id"`
+	EnvKey      string  `json:"env_key"`
+	Size        int     `json:"size"`
+	SubmittedAt float64 `json:"submitted_at"`
+}
+
+// BatchStatus is the monitoring summary of one batch. It carries everything
+// a remote Oracle needs to evaluate any trigger strategy: threshold
+// fractions plus the execution-variance series summary (§3.5).
+type BatchStatus struct {
+	BatchID           string      `json:"batch_id"`
+	EnvKey            string      `json:"env_key"`
+	Size              int         `json:"size"`
+	Samples           int         `json:"samples"`
+	CompletedFraction float64     `json:"completed_fraction"`
+	AssignedFraction  float64     `json:"assigned_fraction"`
+	Done              bool        `json:"done"`
+	CompletedAt       float64     `json:"completed_at"`
+	LastSample        core.Sample `json:"last_sample"`
+	// ExecVariance is var(c) at the current completion fraction;
+	// MaxVarianceFirstHalf is max var(x) for x ≤ 50%. Both are -1 when
+	// not yet defined.
+	ExecVariance         float64 `json:"exec_variance"`
+	MaxVarianceFirstHalf float64 `json:"max_variance_first_half"`
+	// TC50 is tc(0.5) (elapsed seconds), or -1 before half completion;
+	// the Oracle's prediction base and calibration input.
+	TC50 float64 `json:"tc50"`
+}
+
+func statusOf(bi *core.BatchInfo) BatchStatus {
+	st := BatchStatus{
+		BatchID: bi.BatchID, EnvKey: bi.EnvKey, Size: bi.Size,
+		Samples:           len(bi.Samples),
+		CompletedFraction: bi.CompletedFraction(),
+		AssignedFraction:  bi.AssignedFraction(),
+		Done:              bi.Done(),
+		CompletedAt:       bi.CompletedAt,
+		LastSample:        bi.Last(),
+		ExecVariance:      -1, MaxVarianceFirstHalf: -1, TC50: -1,
+	}
+	if v, ok := bi.ExecutionVariance(st.CompletedFraction); ok {
+		st.ExecVariance = v
+	}
+	if st.CompletedFraction >= 0.5 {
+		st.MaxVarianceFirstHalf = bi.MaxExecutionVarianceUpTo(0.5)
+	}
+	if tc, ok := bi.TimeAtCompletion(0.5); ok {
+		st.TC50 = tc
+	}
+	return st
+}
+
+// ServeHTTP implements http.Handler.
+func (s *InformationService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/batches":
+		var req TrackRequest
+		if err := readJSON(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Size <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("size must be positive"))
+			return
+		}
+		s.mu.Lock()
+		_, err := s.info.Track(req.BatchID, req.EnvKey, req.Size, req.SubmittedAt)
+		s.mu.Unlock()
+		if err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"batch_id": req.BatchID})
+
+	case r.Method == http.MethodPost && pathTail(r.URL.Path, "/batches/") != "" &&
+		len(r.URL.Path) > len("/batches/") && hasSuffixSegment(r.URL.Path, "samples"):
+		id := trimSegment(pathTail(r.URL.Path, "/batches/"), "samples")
+		var sample core.Sample
+		if err := readJSON(r, &sample); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.mu.Lock()
+		bi := s.info.Get(id)
+		if bi != nil {
+			bi.AddSample(bi.SubmittedAt+sample.T, sample.Completed, sample.Assigned, sample.Queued, sample.Running)
+		}
+		s.mu.Unlock()
+		if bi == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("batch %q not tracked", id))
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"batch_id": id})
+
+	case r.Method == http.MethodGet && r.URL.Path == "/batches":
+		s.mu.RLock()
+		ids := s.info.BatchIDs()
+		s.mu.RUnlock()
+		writeJSON(w, http.StatusOK, ids)
+
+	case r.Method == http.MethodGet && pathTail(r.URL.Path, "/batches/") != "":
+		id := pathTail(r.URL.Path, "/batches/")
+		s.mu.RLock()
+		bi := s.info.Get(id)
+		var st BatchStatus
+		if bi != nil {
+			st = statusOf(bi)
+		}
+		s.mu.RUnlock()
+		if bi == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("batch %q not tracked", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+	}
+}
+
+// Info exposes the wrapped archive (used by co-located modules).
+func (s *InformationService) Info() *core.Information { return s.info }
+
+// Locked runs fn with the service lock held, for co-located readers that
+// need a consistent BatchInfo view.
+func (s *InformationService) Locked(fn func(*core.Information)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(s.info)
+}
+
+func hasSuffixSegment(path, seg string) bool {
+	t := pathTail(path, "/batches/")
+	parts := splitSegments(t)
+	return len(parts) == 2 && parts[1] == seg
+}
+
+func trimSegment(tail, seg string) string {
+	parts := splitSegments(tail)
+	if len(parts) == 2 && parts[1] == seg {
+		return parts[0]
+	}
+	return tail
+}
+
+func splitSegments(s string) []string {
+	var out []string
+	for _, p := range bytes.Split([]byte(s), []byte("/")) {
+		if len(p) > 0 {
+			out = append(out, string(p))
+		}
+	}
+	return out
+}
+
+// InformationClient is the typed client of the Information service.
+type InformationClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewInformationClient builds a client for the given base URL.
+func NewInformationClient(baseURL string) *InformationClient {
+	return &InformationClient{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *InformationClient) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	return decodeReply(resp, out)
+}
+
+// Track registers a batch.
+func (c *InformationClient) Track(req TrackRequest) error {
+	return c.post("/batches", req, nil)
+}
+
+// AddSample appends a monitoring sample for a batch.
+func (c *InformationClient) AddSample(batchID string, s core.Sample) error {
+	return c.post("/batches/"+batchID+"/samples", s, nil)
+}
+
+// Status fetches a batch summary.
+func (c *InformationClient) Status(batchID string) (BatchStatus, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/batches/" + batchID)
+	if err != nil {
+		return BatchStatus{}, err
+	}
+	var st BatchStatus
+	err = decodeReply(resp, &st)
+	return st, err
+}
+
+// List fetches the tracked batch IDs.
+func (c *InformationClient) List() ([]string, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/batches")
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	err = decodeReply(resp, &ids)
+	return ids, err
+}

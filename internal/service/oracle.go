@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"spequlos/internal/core"
+)
+
+// OracleService exposes the Oracle module over HTTP (§3.4, §3.5). It reads
+// BoT state from a (possibly remote) Information service, so the two
+// modules can be deployed on different hosts, as in the EDGI setup.
+//
+//	GET  /predict/{batch}       completion-time prediction
+//	POST /plan                  {batch_id, credit_cpu_hours} → start decision
+//	POST /calibration           {env_key, base, actual} archive an execution
+//	GET  /calibration/{env}     α and success rate of an environment
+type OracleService struct {
+	mu     sync.Mutex
+	oracle *core.Oracle
+	info   *InformationClient
+}
+
+// NewOracleService builds an Oracle service reading from the given
+// Information service.
+func NewOracleService(o *core.Oracle, info *InformationClient) *OracleService {
+	return &OracleService{oracle: o, info: info}
+}
+
+// PlanRequest asks whether (and with how many workers) to start cloud
+// support for a batch.
+type PlanRequest struct {
+	BatchID        string  `json:"batch_id"`
+	CreditCPUHours float64 `json:"credit_cpu_hours"`
+}
+
+// PlanReply is the Oracle's provisioning decision (Algorithm 1).
+type PlanReply struct {
+	Start   bool   `json:"start"`
+	Workers int    `json:"workers"`
+	Reason  string `json:"reason"`
+}
+
+// CalibrationRecord archives one finished execution.
+type CalibrationRecord struct {
+	EnvKey string  `json:"env_key"`
+	Base   float64 `json:"base"`   // tc(0.5)/0.5 at prediction time
+	Actual float64 `json:"actual"` // observed completion time
+}
+
+// CalibrationStatus reports an environment's fitted α.
+type CalibrationStatus struct {
+	EnvKey      string  `json:"env_key"`
+	Alpha       float64 `json:"alpha"`
+	SuccessRate float64 `json:"success_rate"`
+	Count       int     `json:"count"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *OracleService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && pathTail(r.URL.Path, "/predict/") != "":
+		id := pathTail(r.URL.Path, "/predict/")
+		st, err := s.info.Status(id)
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, err)
+			return
+		}
+		if st.CompletedFraction <= 0 {
+			writeErr(w, http.StatusConflict, fmt.Errorf("batch %q has no completed tasks yet", id))
+			return
+		}
+		s.mu.Lock()
+		alpha := s.oracle.Calibration.Alpha(st.EnvKey)
+		unc := s.oracle.Calibration.SuccessRate(st.EnvKey)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, core.Prediction{
+			PredictedTime:     alpha * st.LastSample.T / st.CompletedFraction,
+			Uncertainty:       unc,
+			Alpha:             alpha,
+			CompletedFraction: st.CompletedFraction,
+		})
+
+	case r.Method == http.MethodPost && r.URL.Path == "/plan":
+		var req PlanRequest
+		if err := readJSON(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := s.info.Status(req.BatchID)
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.plan(st, req.CreditCPUHours))
+
+	case r.Method == http.MethodPost && r.URL.Path == "/calibration":
+		var rec CalibrationRecord
+		if err := readJSON(r, &rec); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.mu.Lock()
+		s.oracle.Calibration.Record(rec.EnvKey, rec.Base, rec.Actual)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, map[string]string{"env_key": rec.EnvKey})
+
+	case r.Method == http.MethodGet && pathTail(r.URL.Path, "/calibration/") != "":
+		env := pathTail(r.URL.Path, "/calibration/")
+		s.mu.Lock()
+		st := CalibrationStatus{
+			EnvKey:      env,
+			Alpha:       s.oracle.Calibration.Alpha(env),
+			SuccessRate: s.oracle.Calibration.SuccessRate(env),
+			Count:       s.oracle.Calibration.Count(env),
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+	}
+}
+
+// plan evaluates the trigger and sizing strategies against a remote batch
+// status snapshot.
+func (s *OracleService) plan(st BatchStatus, creditHours float64) PlanReply {
+	if st.Done {
+		return PlanReply{Reason: "batch complete"}
+	}
+	fired := false
+	switch tr := s.oracle.Strategy.Trigger.(type) {
+	case core.CompletionThreshold:
+		fired = st.CompletedFraction >= tr.Frac
+	case core.AssignmentThreshold:
+		fired = st.AssignedFraction >= tr.Frac
+	case core.ExecutionVariance:
+		if st.CompletedFraction >= 0.5 && st.ExecVariance >= 0 {
+			if st.MaxVarianceFirstHalf > 0 {
+				fired = st.ExecVariance >= 2*st.MaxVarianceFirstHalf
+			} else {
+				fired = st.ExecVariance > 0
+			}
+		}
+	}
+	if !fired {
+		return PlanReply{Reason: "trigger " + s.oracle.Strategy.Trigger.Code() + " not fired"}
+	}
+	var n int
+	switch s.oracle.Strategy.Sizing.(type) {
+	case core.Greedy:
+		if creditHours > 0 {
+			n = int(creditHours)
+			if n < 1 {
+				n = 1
+			}
+		}
+	case core.Conservative:
+		// Remaining time estimated from the constant completion rate.
+		if creditHours > 0 && st.CompletedFraction > 0 {
+			elapsed := st.LastSample.T
+			tr := elapsed/st.CompletedFraction - elapsed
+			nf := creditHours
+			if trH := tr / 3600; trH > 0 && creditHours/trH < nf {
+				nf = creditHours / trH
+			}
+			n = int(nf)
+			if n < 1 {
+				n = 1
+			}
+		}
+	}
+	if remaining := st.Size - st.LastSample.Completed; n > remaining {
+		n = remaining
+	}
+	return PlanReply{Start: n > 0, Workers: n, Reason: "trigger " + s.oracle.Strategy.Trigger.Code() + " fired"}
+}
+
+// OracleClient is the typed client of the Oracle service.
+type OracleClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewOracleClient builds a client for the given base URL.
+func NewOracleClient(baseURL string) *OracleClient {
+	return &OracleClient{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *OracleClient) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	return decodeReply(resp, out)
+}
+
+// Predict fetches a completion-time prediction.
+func (c *OracleClient) Predict(batchID string) (core.Prediction, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/predict/" + batchID)
+	if err != nil {
+		return core.Prediction{}, err
+	}
+	var p core.Prediction
+	err = decodeReply(resp, &p)
+	return p, err
+}
+
+// Plan asks for the provisioning decision.
+func (c *OracleClient) Plan(batchID string, creditHours float64) (PlanReply, error) {
+	var out PlanReply
+	err := c.post("/plan", PlanRequest{BatchID: batchID, CreditCPUHours: creditHours}, &out)
+	return out, err
+}
+
+// RecordCalibration archives a finished execution.
+func (c *OracleClient) RecordCalibration(envKey string, base, actual float64) error {
+	return c.post("/calibration", CalibrationRecord{EnvKey: envKey, Base: base, Actual: actual}, nil)
+}
+
+// Calibration fetches an environment's α status.
+func (c *OracleClient) Calibration(envKey string) (CalibrationStatus, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/calibration/" + envKey)
+	if err != nil {
+		return CalibrationStatus{}, err
+	}
+	var st CalibrationStatus
+	err = decodeReply(resp, &st)
+	return st, err
+}

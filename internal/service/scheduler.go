@@ -1,0 +1,372 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/middleware"
+)
+
+// DGGateway abstracts the Desktop Grid server the Scheduler monitors. A
+// production deployment implements it against a BOINC or XWHEP server's
+// status API (or the 3G-Bridge for grid-submitted BoTs); tests and demos
+// use a scripted fake.
+type DGGateway interface {
+	// Progress returns the server's current view of a batch.
+	Progress(batchID string) (middleware.Progress, error)
+	// WorkerURL is the endpoint cloud workers connect to.
+	WorkerURL() string
+}
+
+// SchedulerService is the deployable Scheduler module: it drives the
+// monitor loop of Algorithms 1 and 2 against remote Information, Credit and
+// Oracle services, launching cloud workers through the provider registry
+// (libcloud's role).
+//
+//	POST /qos        {user, batch_id, env_key, size, credits, provider, image}
+//	GET  /qos/{id}   QoS status of a batch
+//	POST /step       run one monitor iteration (the daemon also ticks)
+//	GET  /instances  list managed cloud instances
+type SchedulerService struct {
+	info     *InformationClient
+	credits  *CreditClient
+	oracle   *OracleClient
+	registry *cloud.Registry
+	dg       DGGateway
+
+	// Now is the clock used for billing; overridable in tests.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	batches map[string]*schedBatch
+	order   []string
+}
+
+type schedBatch struct {
+	ID        string
+	User      string
+	EnvKey    string
+	Size      int
+	Provider  string
+	Image     string
+	Started   bool
+	Exhausted bool
+	Finalized bool
+	StartedAt time.Time
+
+	instances []managedInstance
+}
+
+type managedInstance struct {
+	Info     cloud.InstanceInfo
+	LastBill time.Time
+}
+
+// QoSRequest registers a batch for QoS support (registerQoS + orderQoS of
+// Fig 3 in one call).
+type QoSRequest struct {
+	User     string  `json:"user"`
+	BatchID  string  `json:"batch_id"`
+	EnvKey   string  `json:"env_key"`
+	Size     int     `json:"size"`
+	Credits  float64 `json:"credits"`
+	Provider string  `json:"provider"`
+	Image    string  `json:"image"`
+}
+
+// QoSStatus reports the Scheduler's view of a batch.
+type QoSStatus struct {
+	BatchID   string               `json:"batch_id"`
+	Started   bool                 `json:"started"`
+	Exhausted bool                 `json:"exhausted"`
+	Finalized bool                 `json:"finalized"`
+	Instances []cloud.InstanceInfo `json:"instances"`
+}
+
+// NewSchedulerService wires the Scheduler to its collaborators.
+func NewSchedulerService(info *InformationClient, credits *CreditClient, oracle *OracleClient,
+	registry *cloud.Registry, dg DGGateway) *SchedulerService {
+	return &SchedulerService{
+		info: info, credits: credits, oracle: oracle, registry: registry, dg: dg,
+		Now:     time.Now,
+		batches: map[string]*schedBatch{},
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *SchedulerService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/qos":
+		var req QoSRequest
+		if err := readJSON(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.RegisterQoS(req); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"batch_id": req.BatchID})
+
+	case r.Method == http.MethodPost && r.URL.Path == "/step":
+		if err := s.Step(); err != nil {
+			writeErr(w, http.StatusBadGateway, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+
+	case r.Method == http.MethodGet && pathTail(r.URL.Path, "/qos/") != "":
+		id := pathTail(r.URL.Path, "/qos/")
+		st, err := s.Status(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+
+	case r.Method == http.MethodGet && r.URL.Path == "/instances":
+		writeJSON(w, http.StatusOK, s.Instances())
+
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+	}
+}
+
+// RegisterQoS registers a batch with the Information service and places the
+// credit order.
+func (s *SchedulerService) RegisterQoS(req QoSRequest) error {
+	if req.BatchID == "" || req.Size <= 0 {
+		return fmt.Errorf("scheduler: batch_id and positive size required")
+	}
+	s.mu.Lock()
+	if _, ok := s.batches[req.BatchID]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("scheduler: batch %q already registered", req.BatchID)
+	}
+	s.mu.Unlock()
+	if err := s.info.Track(TrackRequest{
+		BatchID: req.BatchID, EnvKey: req.EnvKey, Size: req.Size,
+	}); err != nil {
+		return err
+	}
+	if req.Credits > 0 {
+		if err := s.credits.Order(req.User, req.BatchID, req.Credits); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches[req.BatchID] = &schedBatch{
+		ID: req.BatchID, User: req.User, EnvKey: req.EnvKey, Size: req.Size,
+		Provider: req.Provider, Image: req.Image, StartedAt: s.Now(),
+	}
+	s.order = append(s.order, req.BatchID)
+	return nil
+}
+
+// Status returns the Scheduler's view of a batch.
+func (s *SchedulerService) Status(batchID string) (QoSStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qb, ok := s.batches[batchID]
+	if !ok {
+		return QoSStatus{}, fmt.Errorf("scheduler: batch %q not registered", batchID)
+	}
+	st := QoSStatus{BatchID: qb.ID, Started: qb.Started, Exhausted: qb.Exhausted, Finalized: qb.Finalized}
+	for _, mi := range qb.instances {
+		st.Instances = append(st.Instances, mi.Info)
+	}
+	return st, nil
+}
+
+// Instances lists every managed cloud instance.
+func (s *SchedulerService) Instances() []cloud.InstanceInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []cloud.InstanceInfo
+	for _, qb := range s.batches {
+		for _, mi := range qb.instances {
+			out = append(out, mi.Info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Step runs one monitor iteration over every registered batch (the body of
+// Algorithms 1 and 2).
+func (s *SchedulerService) Step() error {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	var firstErr error
+	for _, id := range ids {
+		if err := s.stepBatch(id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (s *SchedulerService) stepBatch(id string) error {
+	s.mu.Lock()
+	qb := s.batches[id]
+	s.mu.Unlock()
+	if qb == nil || qb.Finalized {
+		return nil
+	}
+
+	// Monitor: pull progress from the DG, push a sample to Information.
+	p, err := s.dg.Progress(id)
+	if err != nil {
+		return fmt.Errorf("scheduler: DG progress for %q: %w", id, err)
+	}
+	now := s.Now()
+	elapsed := now.Sub(qb.StartedAt).Seconds()
+	if err := s.info.AddSample(id, core.Sample{
+		T: elapsed, Completed: p.Completed, Assigned: p.EverAssigned,
+		Queued: p.Queued, Running: p.Running,
+	}); err != nil {
+		return err
+	}
+
+	if p.Done() {
+		return s.finalize(qb, elapsed)
+	}
+
+	// Algorithm 2: bill running instances; stop everything when the order
+	// runs dry.
+	if err := s.billInstances(qb, now); err != nil {
+		return err
+	}
+	if qb.Exhausted {
+		s.stopAll(qb, now)
+		return nil
+	}
+
+	// Algorithm 1: ask the Oracle whether to start cloud workers.
+	if qb.Started {
+		return nil
+	}
+	has, err := s.credits.HasCredits(id)
+	if err != nil || !has {
+		return err
+	}
+	order, err := s.credits.OrderOf(id)
+	if err != nil {
+		return err
+	}
+	plan, err := s.oracle.Plan(id, order.Remaining()/core.CreditsPerCPUHour)
+	if err != nil {
+		return err
+	}
+	if !plan.Start {
+		return nil
+	}
+	driver, err := s.registry.Get(qb.Provider)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < plan.Workers; i++ {
+		info, err := driver.Launch(cloud.LaunchRequest{
+			Image: qb.Image, BatchID: id, DGServer: s.dg.WorkerURL(),
+		})
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		qb.instances = append(qb.instances, managedInstance{Info: info, LastBill: now})
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	qb.Started = true
+	s.mu.Unlock()
+	return nil
+}
+
+// billInstances charges wall-clock usage of live instances.
+func (s *SchedulerService) billInstances(qb *schedBatch, now time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range qb.instances {
+		mi := &qb.instances[i]
+		if mi.Info.State == cloud.StateTerminated {
+			continue
+		}
+		sec := now.Sub(mi.LastBill).Seconds()
+		if sec <= 0 {
+			continue
+		}
+		mi.LastBill = now
+		reply, err := s.credits.Bill(qb.ID, sec/3600*core.CreditsPerCPUHour)
+		if err != nil {
+			return err
+		}
+		if reply.Exhausted {
+			qb.Exhausted = true
+			return nil
+		}
+	}
+	return nil
+}
+
+// stopAll terminates every live instance of a batch.
+func (s *SchedulerService) stopAll(qb *schedBatch, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	driver, err := s.registry.Get(qb.Provider)
+	if err != nil {
+		return
+	}
+	for i := range qb.instances {
+		mi := &qb.instances[i]
+		if mi.Info.State == cloud.StateTerminated {
+			continue
+		}
+		if err := driver.Terminate(mi.Info.ID); err == nil {
+			mi.Info.State = cloud.StateTerminated
+		}
+	}
+}
+
+// finalize settles the batch: final billing, instance shutdown, payment and
+// calibration archiving.
+func (s *SchedulerService) finalize(qb *schedBatch, elapsed float64) error {
+	now := s.Now()
+	if err := s.billInstances(qb, now); err != nil {
+		return err
+	}
+	s.stopAll(qb, now)
+	if _, err := s.credits.Pay(qb.ID); err != nil {
+		return err
+	}
+	if st, err := s.info.Status(qb.ID); err == nil && st.TC50 > 0 {
+		if err := s.oracle.RecordCalibration(qb.EnvKey, st.TC50/0.5, elapsed); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	qb.Finalized = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Run ticks the monitor loop every period until stop is closed (the daemon
+// mode of cmd/spequlosd).
+func (s *SchedulerService) Run(period time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.Step() //nolint:errcheck // transient gateway errors retry next tick
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package service is the deployable flavor of SpeQuloS: each module —
+// Information, Credit System, Oracle, Scheduler — runs as an independent
+// HTTP/JSON web service, so a deployment can split them across networks and
+// firewalls exactly as the EDGI production setup does (§3.7: "Each module
+// can be deployed on different networks ... communication between modules
+// use web services"; Fig 8 shows the modules split and duplicated).
+//
+// The paper's prototype is Python + MySQL + libcloud; here each module
+// wraps its counterpart from internal/core behind a REST API, with typed Go
+// clients so the modules can talk to each other remotely. internal/cloud's
+// Driver registry plays the role of libcloud.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes a JSON error payload.
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// readJSON decodes the request body into v.
+func readJSON(r *http.Request, v any) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	return nil
+}
+
+// pathTail returns the path component after the given prefix, or "".
+func pathTail(path, prefix string) string {
+	if !strings.HasPrefix(path, prefix) {
+		return ""
+	}
+	rest := strings.TrimPrefix(path, prefix)
+	return strings.Trim(rest, "/")
+}
+
+// apiError is the error payload shape shared by all services.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// decodeReply parses a response, turning API error payloads into Go errors.
+func decodeReply(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e apiError
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("service: %s", e.Error)
+		}
+		return fmt.Errorf("service: HTTP %d", resp.StatusCode)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,455 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/middleware"
+)
+
+// scriptedDG is a DGGateway whose progress advances under test control.
+type scriptedDG struct {
+	mu       sync.Mutex
+	size     int
+	done     int
+	assigned int
+}
+
+func (d *scriptedDG) set(done, assigned int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.done, d.assigned = done, assigned
+}
+
+func (d *scriptedDG) Progress(batchID string) (middleware.Progress, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return middleware.Progress{
+		Size: d.size, Arrived: d.size, Completed: d.done,
+		EverAssigned: d.assigned, Running: d.size - d.done,
+	}, nil
+}
+
+func (d *scriptedDG) WorkerURL() string { return "http://dg.example:4321" }
+
+func TestInformationServiceHTTP(t *testing.T) {
+	svc := NewInformationService(core.NewInformation())
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	c := NewInformationClient(srv.URL)
+
+	if err := c.Track(TrackRequest{BatchID: "b1", EnvKey: "e", Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Track(TrackRequest{BatchID: "b1", EnvKey: "e", Size: 100}); err == nil {
+		t.Fatal("duplicate track accepted")
+	}
+	if err := c.AddSample("b1", core.Sample{T: 60, Completed: 50, Assigned: 100}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status("b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompletedFraction != 0.5 || st.AssignedFraction != 1 || st.Samples != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.TC50 != 60 {
+		t.Fatalf("tc50 = %v, want 60", st.TC50)
+	}
+	ids, err := c.List()
+	if err != nil || len(ids) != 1 || ids[0] != "b1" {
+		t.Fatalf("list: %v %v", ids, err)
+	}
+	if _, err := c.Status("nope"); err == nil {
+		t.Fatal("unknown batch status accepted")
+	}
+	if err := c.AddSample("nope", core.Sample{}); err == nil {
+		t.Fatal("sample for unknown batch accepted")
+	}
+}
+
+func TestInformationServiceRejectsBadInput(t *testing.T) {
+	svc := NewInformationService(core.NewInformation())
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/batches", "application/json", strings.NewReader(`{"size":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero size accepted: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/batches", "application/json", strings.NewReader(`{bogus`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestCreditServiceHTTP(t *testing.T) {
+	svc := NewCreditService(core.NewCreditSystem())
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	c := NewCreditClient(srv.URL)
+
+	if err := c.Deposit("alice", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Order("alice", "b1", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Order("alice", "b1", 60); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	has, err := c.HasCredits("b1")
+	if err != nil || !has {
+		t.Fatalf("has credits: %v %v", has, err)
+	}
+	reply, err := c.Bill("b1", 25)
+	if err != nil || reply.Billed != 25 || reply.Exhausted {
+		t.Fatalf("bill: %+v %v", reply, err)
+	}
+	o, err := c.OrderOf("b1")
+	if err != nil || o.Billed != 25 {
+		t.Fatalf("order: %+v %v", o, err)
+	}
+	refund, err := c.Pay("b1")
+	if err != nil || refund != 35 {
+		t.Fatalf("pay: %v %v", refund, err)
+	}
+	a, err := c.Account("alice")
+	if err != nil || a.Balance != 75 || a.Spent != 25 {
+		t.Fatalf("account: %+v %v", a, err)
+	}
+}
+
+func TestOracleServiceHTTP(t *testing.T) {
+	infoSvc := NewInformationService(core.NewInformation())
+	infoSrv := httptest.NewServer(infoSvc)
+	defer infoSrv.Close()
+	infoClient := NewInformationClient(infoSrv.URL)
+
+	oracleSvc := NewOracleService(core.NewOracle(core.DefaultStrategy()), infoClient)
+	oracleSrv := httptest.NewServer(oracleSvc)
+	defer oracleSrv.Close()
+	c := NewOracleClient(oracleSrv.URL)
+
+	infoClient.Track(TrackRequest{BatchID: "b", EnvKey: "env", Size: 100})
+	if _, err := c.Predict("b"); err == nil {
+		t.Fatal("prediction without progress accepted")
+	}
+	infoClient.AddSample("b", core.Sample{T: 500, Completed: 50, Assigned: 100})
+	p, err := c.Predict("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PredictedTime != 1000 {
+		t.Fatalf("prediction = %v, want 1000", p.PredictedTime)
+	}
+
+	// Below the 90% trigger: no start.
+	plan, err := c.Plan("b", 10)
+	if err != nil || plan.Start {
+		t.Fatalf("plan fired early: %+v %v", plan, err)
+	}
+	infoClient.AddSample("b", core.Sample{T: 900, Completed: 90, Assigned: 100})
+	plan, err = c.Plan("b", 10)
+	if err != nil || !plan.Start || plan.Workers < 1 {
+		t.Fatalf("plan: %+v %v", plan, err)
+	}
+	if plan.Workers > 10 {
+		t.Fatalf("conservative plan too large: %d", plan.Workers)
+	}
+
+	// Calibration round trip.
+	if err := c.RecordCalibration("env", 1000, 1500); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Calibration("env")
+	if err != nil || st.Alpha != 1.5 || st.Count != 1 {
+		t.Fatalf("calibration: %+v %v", st, err)
+	}
+}
+
+// TestFigure3Sequence drives the full sequence diagram of Fig 3 over real
+// HTTP: register QoS, submit, predict, order credits, monitor loop starting
+// cloud workers, billing, completion, payment with refund, calibration.
+func TestFigure3Sequence(t *testing.T) {
+	dg := &scriptedDG{size: 100}
+	ec2 := cloud.NewMockEC2()
+	stack := NewTestStack(StackConfig{
+		Strategy: core.DefaultStrategy(),
+		Registry: cloud.NewRegistry(ec2),
+		DG:       dg,
+	})
+	defer stack.Close()
+
+	// Deterministic billing clock: each Step advances one minute.
+	now := time.Unix(1_700_000_000, 0)
+	stack.Scheduler.Now = func() time.Time { return now }
+	step := func() {
+		now = now.Add(time.Minute)
+		if err := stack.Scheduler.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// User: deposit, registerQoS + orderQoS.
+	if err := stack.CreditClient.Deposit("alice", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.Scheduler.RegisterQoS(QoSRequest{
+		User: "alice", BatchID: "bot-1", EnvKey: "XWHEP/seti/SMALL", Size: 100,
+		Credits: 300, Provider: "ec2", Image: "xwhep-worker",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The BoT progresses on the BE-DCI.
+	dg.set(10, 100)
+	step()
+	dg.set(50, 100)
+	step()
+
+	// getQoSInformation: prediction mid-run.
+	pred, err := stack.OracleClient.Predict("bot-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.PredictedTime <= 0 {
+		t.Fatalf("prediction: %+v", pred)
+	}
+
+	// Cloud must not start before the completion threshold.
+	st, _ := stack.Scheduler.Status("bot-1")
+	if st.Started {
+		t.Fatal("cloud started before 90%")
+	}
+
+	// Tail reached: the next step must launch cloud workers on EC2.
+	dg.set(91, 100)
+	step()
+	st, _ = stack.Scheduler.Status("bot-1")
+	if !st.Started || len(st.Instances) == 0 {
+		t.Fatalf("cloud not started at 91%%: %+v", st)
+	}
+	if st.Instances[0].Provider != "ec2" || st.Instances[0].DGServer != dg.WorkerURL() {
+		t.Fatalf("instance misconfigured: %+v", st.Instances[0])
+	}
+	if got := len(ec2.List()); got != len(st.Instances) {
+		t.Fatalf("provider sees %d instances, scheduler %d", got, len(st.Instances))
+	}
+
+	// Billing accrues while the tail executes.
+	dg.set(95, 100)
+	step()
+	o, err := stack.CreditClient.OrderOf("bot-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Billed <= 0 {
+		t.Fatal("no billing after a minute of cloud usage")
+	}
+
+	// Completion: final billing, shutdown, payment, refund, calibration.
+	dg.set(100, 100)
+	step()
+	st, _ = stack.Scheduler.Status("bot-1")
+	if !st.Finalized {
+		t.Fatal("not finalized after completion")
+	}
+	if got := len(ec2.List()); got != 0 {
+		t.Fatalf("%d instances still running after completion", got)
+	}
+	o, _ = stack.CreditClient.OrderOf("bot-1")
+	if !o.Closed {
+		t.Fatal("order not closed")
+	}
+	a, _ := stack.CreditClient.Account("alice")
+	if a.Balance <= 700 || a.Balance >= 1000 {
+		t.Fatalf("refund wrong: balance=%v (billed=%v)", a.Balance, o.Billed)
+	}
+	cal, err := stack.OracleClient.Calibration("XWHEP/seti/SMALL")
+	if err != nil || cal.Count != 1 {
+		t.Fatalf("calibration not recorded: %+v %v", cal, err)
+	}
+
+	// Further steps are no-ops on a finalized batch.
+	step()
+	o2, _ := stack.CreditClient.OrderOf("bot-1")
+	if o2.Billed != o.Billed {
+		t.Fatal("billing continued after finalization")
+	}
+}
+
+func TestSchedulerExhaustionStopsInstances(t *testing.T) {
+	dg := &scriptedDG{size: 100}
+	ec2 := cloud.NewMockEC2()
+	stack := NewTestStack(StackConfig{
+		Strategy: core.Strategy{Trigger: core.CompletionThreshold{Frac: 0.9}, Sizing: core.Greedy{}, Deploy: core.Reschedule},
+		Registry: cloud.NewRegistry(ec2),
+		DG:       dg,
+	})
+	defer stack.Close()
+	now := time.Unix(1_700_000_000, 0)
+	stack.Scheduler.Now = func() time.Time { return now }
+
+	stack.CreditClient.Deposit("bob", 10)
+	if err := stack.Scheduler.RegisterQoS(QoSRequest{
+		User: "bob", BatchID: "b", EnvKey: "e", Size: 100,
+		Credits: 0.05, Provider: "ec2", Image: "img", // 12 cpu·s of funding
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dg.set(95, 100)
+	now = now.Add(time.Minute)
+	if err := stack.Scheduler.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := stack.Scheduler.Status("b")
+	if !st.Started {
+		t.Fatal("cloud not started")
+	}
+	// One minute of usage exceeds the funding: instances must stop.
+	now = now.Add(time.Minute)
+	stack.Scheduler.Step()
+	now = now.Add(time.Minute)
+	stack.Scheduler.Step()
+	st, _ = stack.Scheduler.Status("b")
+	if !st.Exhausted {
+		t.Fatal("order not exhausted")
+	}
+	if got := len(ec2.List()); got != 0 {
+		t.Fatalf("%d instances alive after exhaustion", got)
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	dg := &scriptedDG{size: 10}
+	stack := NewTestStack(StackConfig{Strategy: core.DefaultStrategy(), DG: dg})
+	defer stack.Close()
+	if err := stack.Scheduler.RegisterQoS(QoSRequest{BatchID: "", Size: 10}); err == nil {
+		t.Fatal("empty batch id accepted")
+	}
+	if err := stack.Scheduler.RegisterQoS(QoSRequest{BatchID: "x", Size: 0}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := stack.Scheduler.Status("ghost"); err == nil {
+		t.Fatal("unknown batch status accepted")
+	}
+}
+
+func TestSchedulerHTTPEndpoints(t *testing.T) {
+	dg := &scriptedDG{size: 10}
+	stack := NewTestStack(StackConfig{Strategy: core.DefaultStrategy(), DG: dg})
+	defer stack.Close()
+	stack.CreditClient.Deposit("u", 100)
+
+	body := `{"user":"u","batch_id":"hb","env_key":"e","size":10,"credits":10,"provider":"ec2","image":"img"}`
+	resp, err := http.Post(stack.SchedulerAddr+"/qos", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("qos register: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(stack.SchedulerAddr+"/step", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(stack.SchedulerAddr + "/qos/hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st QoSStatus
+	if err := decodeReply(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BatchID != "hb" {
+		t.Fatalf("status: %+v", st)
+	}
+	resp, err = http.Get(stack.SchedulerAddr + "/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestMuxMountsAllModules(t *testing.T) {
+	info := NewInformationService(core.NewInformation())
+	credit := NewCreditService(core.NewCreditSystem())
+	infoClient := NewInformationClient("") // unused paths below
+	oracle := NewOracleService(core.NewOracle(core.DefaultStrategy()), infoClient)
+	dg := &scriptedDG{size: 1}
+	sched := NewSchedulerService(infoClient, NewCreditClient(""), NewOracleClient(""), cloud.DefaultRegistry(), dg)
+	mux := Mux(info, credit, oracle, sched)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/information/batches", "/scheduler/instances"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+	}
+	// Credit module reachable under its prefix.
+	resp, err := http.Post(srv.URL+"/credit/deposit", "application/json",
+		strings.NewReader(`{"user":"u","credits":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("credit deposit via mux: %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentSchedulerSteps(t *testing.T) {
+	dg := &scriptedDG{size: 100}
+	stack := NewTestStack(StackConfig{Strategy: core.DefaultStrategy(), DG: dg})
+	defer stack.Close()
+	stack.CreditClient.Deposit("u", 1000)
+	for i := 0; i < 4; i++ {
+		if err := stack.Scheduler.RegisterQoS(QoSRequest{
+			User: "u", BatchID: fmt.Sprintf("b%d", i), EnvKey: "e", Size: 100,
+			Credits: 50, Provider: "ec2", Image: "img",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dg.set(95, 100)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stack.Scheduler.Step()
+		}()
+	}
+	wg.Wait()
+	// No assertion beyond the race detector and a consistent final state.
+	if got := len(stack.Scheduler.Instances()); got == 0 {
+		t.Fatal("no instances after concurrent steps")
+	}
+}

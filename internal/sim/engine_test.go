@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // idempotent
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	evs := make([]*Event, 0, 100)
+	for i := 0; i < 100; i++ {
+		at := float64((i * 37) % 100)
+		evs = append(evs, e.At(at, func() { got = append(got, at) }))
+	}
+	for i := 0; i < 100; i += 3 {
+		e.Cancel(evs[i])
+	}
+	e.Run()
+	if len(got) != 66 {
+		t.Fatalf("fired %d events, want 66", len(got))
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("out of order after cancellations: %v", got)
+	}
+}
+
+func TestEngineSchedulingInsideEvents(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	e.At(1, func() {
+		e.After(1, func() { got = append(got, e.Now()) })
+		e.After(0.5, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	want := []float64{1.5, 2}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func() { count++ })
+	}
+	e.RunUntil(5)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5 (events at t<=5)", count)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+	e.RunUntil(20)
+	if count != 10 || e.Now() != 20 {
+		t.Fatalf("after RunUntil(20): count=%d now=%v", count, e.Now())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.At(3, func() {
+		e.After(-5, func() {
+			if e.Now() != 3 {
+				t.Errorf("negative delay fired at %v, want 3", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []float64
+	tk := e.NewTicker(10, func(now Time) {
+		ticks = append(ticks, now)
+	})
+	e.At(45, func() { tk.Stop() })
+	e.Run()
+	want := []float64{10, 20, 30, 40}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopWithinCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = e.NewTicker(1, func(Time) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 3 {
+		t.Fatalf("ticker fired %d times, want 3", n)
+	}
+}
+
+// Property: for any batch of event times, execution order is sorted and the
+// count matches.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var got []float64
+		for _, v := range times {
+			at := float64(v)
+			e.At(at, func() { got = append(got, at) })
+		}
+		e.Run()
+		return len(got) == len(times) && sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset never breaks ordering and fires
+// exactly the survivors.
+func TestEventCancelProperty(t *testing.T) {
+	f := func(times []uint16, seed int64) bool {
+		e := NewEngine()
+		r := rand.New(rand.NewSource(seed))
+		var got []float64
+		evs := make([]*Event, len(times))
+		for i, v := range times {
+			at := float64(v)
+			evs[i] = e.At(at, func() { got = append(got, at) })
+		}
+		cancelled := 0
+		for _, ev := range evs {
+			if r.Intn(2) == 0 {
+				e.Cancel(ev)
+				cancelled++
+			}
+		}
+		e.Run()
+		return len(got) == len(times)-cancelled && sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGForkIndependentOfConsumption(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	for i := 0; i < 50; i++ {
+		a.Float64() // consume parent a only
+	}
+	fa := a.Fork("trace")
+	fb := b.Fork("trace")
+	for i := 0; i < 20; i++ {
+		if fa.Float64() != fb.Float64() {
+			t.Fatal("fork depends on parent consumption")
+		}
+	}
+}
+
+func TestRNGForkDistinctLabels(t *testing.T) {
+	r := NewRNG(7)
+	a := r.Fork("alpha")
+	b := r.Fork("beta")
+	same := 0
+	for i := 0; i < 32; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 32 {
+		t.Fatal("different labels produced identical streams")
+	}
+	x := r.ForkN("node", 1)
+	y := r.ForkN("node", 2)
+	if x.Float64() == y.Float64() && x.Float64() == y.Float64() {
+		t.Fatal("ForkN streams for different indices look identical")
+	}
+}
+
+func TestSeedFrom(t *testing.T) {
+	if SeedFrom("a", "b") == SeedFrom("ab") {
+		t.Fatal("SeedFrom must separate parts")
+	}
+	if SeedFrom("x") != SeedFrom("x") {
+		t.Fatal("SeedFrom not deterministic")
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(float64(i%100)+1, func() {})
+		if e.Pending() > 1024 {
+			for e.Pending() > 0 {
+				e.Step()
+			}
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic pseudo-random source. Independent subsystems of a
+// simulation fork labelled sub-streams so that adding or removing one
+// consumer (for example SpeQuloS cloud workers) does not perturb the draws
+// seen by the others — the property behind the paper's paired
+// with/without-SpeQuloS comparisons.
+type RNG struct {
+	*rand.Rand
+	seed uint64
+}
+
+// NewRNG returns a deterministic source for the given seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15)), seed: seed}
+}
+
+// Seed returns the seed this stream was created from.
+func (r *RNG) Seed() uint64 { return r.seed }
+
+// Fork derives an independent stream identified by label. Forking is a pure
+// function of (seed, label): the same label always yields the same stream,
+// regardless of how much the parent has been consumed.
+func (r *RNG) Fork(label string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return NewRNG(r.seed ^ h.Sum64() ^ 0xD1B54A32D192ED03)
+}
+
+// ForkN derives an independent stream identified by a label and an index,
+// e.g. one stream per trace node.
+func (r *RNG) ForkN(label string, n int) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	var buf [8]byte
+	v := uint64(n)
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+	return NewRNG(r.seed ^ h.Sum64() ^ 0xA0761D6478BD642F)
+}
+
+// SeedFrom hashes a list of strings into a seed, for building scenario seeds
+// like (experiment, middleware, trace, bot, offset).
+func SeedFrom(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,466 @@
+// Package xwhep simulates the XtremWeb-HEP Desktop Grid middleware. XWHEP
+// handles host volatility through heartbeats: workers send a keep-alive
+// message every minute, and when the server has heard nothing for
+// worker_timeout (15 minutes by default), it reassigns the worker's task to
+// another host (§2.2, §4.1.3). Tasks run exactly once — there is no
+// replication, which is why XWHEP's baseline tail is milder than BOINC's
+// but its failure-detection latency still produces one.
+package xwhep
+
+import (
+	"fmt"
+	"sort"
+
+	"spequlos/internal/bot"
+	"spequlos/internal/middleware"
+	"spequlos/internal/sim"
+)
+
+// Config carries the standard XWHEP server parameters (§4.1.3).
+type Config struct {
+	// KeepAlivePeriod is the worker heartbeat interval (keep_alive_period).
+	KeepAlivePeriod float64
+	// WorkerTimeout is the silence duration after which a worker is
+	// declared lost and its task reassigned (worker_timeout).
+	WorkerTimeout float64
+}
+
+// DefaultConfig returns the paper's simulation parameters:
+// keep_alive_period=60, worker_timeout=900.
+func DefaultConfig() Config {
+	return Config{KeepAlivePeriod: 60, WorkerTimeout: 900}
+}
+
+// Server is an XWHEP Desktop Grid server simulation. It implements
+// middleware.Server.
+type Server struct {
+	eng       *sim.Engine
+	cfg       Config
+	listeners middleware.Listeners
+
+	batches map[string]*batch
+	// queue is the global FIFO of pending tasks; priority holds tasks
+	// requeued after a detected failure and is served first.
+	priority fifo
+	queue    fifo
+
+	attached map[*middleware.Worker]*workerState
+	idle     *middleware.IdleSet
+
+	reschedule bool
+}
+
+type batch struct {
+	spec      middleware.Batch
+	size      int
+	arrived   int
+	completed int
+	assigned  int // tasks ever assigned (monotone)
+	tasks     []*xtask
+	done      bool
+	// dupCandidates counts running tasks without a cloud duplicate; used
+	// to short-circuit Reschedule work scans.
+	running int
+}
+
+type xtask struct {
+	batch     *batch
+	spec      bot.Task
+	arrived   bool
+	completed bool
+	assigned  bool // ever assigned
+	queued    bool
+	execs     map[*middleware.Worker]*exec
+}
+
+// cloudDups counts in-flight cloud executions of the task.
+func (t *xtask) cloudDups() int {
+	n := 0
+	for w := range t.execs {
+		if w.Cloud {
+			n++
+		}
+	}
+	return n
+}
+
+type exec struct {
+	w      *middleware.Worker
+	doneEv *sim.Event
+	dead   bool // worker left; awaiting timeout detection
+}
+
+type workerState struct {
+	cur *xtask
+}
+
+// fifo is a task queue with lazy removal: dequeued/completed entries keep
+// their slot and are skipped, so the common pop-from-head path is O(1).
+type fifo struct {
+	items []*xtask
+	head  int
+}
+
+func (f *fifo) push(t *xtask) { f.items = append(f.items, t) }
+
+// advance skips dead entries at the head and compacts when more than half
+// the backing slice is consumed.
+func (f *fifo) advance() {
+	for f.head < len(f.items) && !f.items[f.head].queued {
+		f.items[f.head] = nil
+		f.head++
+	}
+	if f.head > 64 && f.head*2 > len(f.items) {
+		f.items = append(f.items[:0], f.items[f.head:]...)
+		f.head = 0
+	}
+}
+
+// empty reports whether no queued entries remain (after head advance;
+// mid-queue lazily-removed entries may linger but first() skips them).
+func (f *fifo) empty() bool {
+	f.advance()
+	return f.head >= len(f.items)
+}
+
+// first returns the first queued task matching the filter, or nil.
+func (f *fifo) first(match func(*xtask) bool) *xtask {
+	f.advance()
+	for i := f.head; i < len(f.items); i++ {
+		t := f.items[i]
+		if t != nil && t.queued && match(t) {
+			return t
+		}
+	}
+	return nil
+}
+
+// New creates an XWHEP server on the engine.
+func New(eng *sim.Engine, cfg Config) *Server {
+	if cfg.KeepAlivePeriod <= 0 {
+		cfg.KeepAlivePeriod = 60
+	}
+	if cfg.WorkerTimeout <= 0 {
+		cfg.WorkerTimeout = 900
+	}
+	return &Server{
+		eng:      eng,
+		cfg:      cfg,
+		batches:  map[string]*batch{},
+		attached: map[*middleware.Worker]*workerState{},
+		idle:     middleware.NewIdleSet(),
+	}
+}
+
+// MiddlewareName implements middleware.Server.
+func (s *Server) MiddlewareName() string { return "XWHEP" }
+
+// AddListener implements middleware.Server.
+func (s *Server) AddListener(l middleware.Listener) { s.listeners = append(s.listeners, l) }
+
+// SetReschedule implements middleware.Server.
+func (s *Server) SetReschedule(enabled bool) { s.reschedule = enabled }
+
+// Submit implements middleware.Server.
+func (s *Server) Submit(b middleware.Batch) {
+	if _, ok := s.batches[b.ID]; ok {
+		panic(fmt.Sprintf("xwhep: duplicate batch %q", b.ID))
+	}
+	bt := &batch{spec: b, size: len(b.Tasks)}
+	s.batches[b.ID] = bt
+	for _, spec := range b.Tasks {
+		t := &xtask{batch: bt, spec: spec, execs: map[*middleware.Worker]*exec{}}
+		bt.tasks = append(bt.tasks, t)
+		s.eng.After(spec.Arrival, func() {
+			t.arrived = true
+			bt.arrived++
+			t.queued = true
+			s.queue.push(t)
+			s.dispatch()
+		})
+	}
+}
+
+// WorkerJoin implements middleware.Server.
+func (s *Server) WorkerJoin(w *middleware.Worker) {
+	if _, ok := s.attached[w]; ok {
+		return
+	}
+	s.attached[w] = &workerState{}
+	s.idle.Add(w)
+	s.dispatch()
+}
+
+// WorkerLeave implements middleware.Server. The computation in flight is
+// lost; the server notices worker_timeout seconds after the last heartbeat
+// and requeues the task with priority.
+func (s *Server) WorkerLeave(w *middleware.Worker) {
+	st, ok := s.attached[w]
+	if !ok {
+		return
+	}
+	delete(s.attached, w)
+	s.idle.Remove(w)
+	if st.cur == nil {
+		return
+	}
+	t := st.cur
+	ex := t.execs[w]
+	if ex == nil {
+		return
+	}
+	s.eng.Cancel(ex.doneEv)
+	ex.dead = true
+	// Failure detection: the last heartbeat arrived within KeepAlivePeriod
+	// before the death; the server times out WorkerTimeout after it.
+	detectAt := s.cfg.WorkerTimeout + s.cfg.KeepAlivePeriod/2
+	s.eng.After(detectAt, func() {
+		if t.completed || t.execs[w] != ex {
+			return
+		}
+		delete(t.execs, w)
+		if len(t.execs) == 0 && !t.queued {
+			t.batch.running--
+			t.queued = true
+			s.priority.push(t)
+			s.dispatch()
+		}
+	})
+}
+
+// dispatch pairs idle workers with assignable work until no pair remains.
+func (s *Server) dispatch() {
+	for {
+		hasQueued := !s.priority.empty() || !s.queue.empty()
+		wantCloudDup := s.reschedule && s.idle.CloudCount() > 0 && s.anyDupCandidate()
+		if !hasQueued && !wantCloudDup {
+			return
+		}
+		// Memoize batches found to have no eligible work this round so a
+		// fleet of same-batch cloud workers costs one scan, not N.
+		barren := map[string]bool{}
+		w := s.idle.Pick(func(w *middleware.Worker) bool {
+			if barren[w.DedicatedBatch] {
+				return false
+			}
+			if !hasQueued && !(w.Cloud && w.DedicatedBatch != "") {
+				return false
+			}
+			if s.peekTask(w) == nil {
+				barren[w.DedicatedBatch] = true
+				return false
+			}
+			return true
+		})
+		if w == nil {
+			return
+		}
+		t := s.peekTask(w)
+		if t == nil {
+			// Race cannot happen (single-threaded), but stay safe.
+			s.idle.Add(w)
+			return
+		}
+		s.assign(w, t)
+	}
+}
+
+// anyDupCandidate reports whether a Reschedule duplicate could be created.
+func (s *Server) anyDupCandidate() bool {
+	for _, bt := range s.batches {
+		if !bt.done && bt.running > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// peekTask returns the task the worker would execute, without dequeuing.
+func (s *Server) peekTask(w *middleware.Worker) *xtask {
+	match := func(t *xtask) bool {
+		return w.DedicatedBatch == "" || t.batch.spec.ID == w.DedicatedBatch
+	}
+	if t := s.priority.first(match); t != nil {
+		return t
+	}
+	if t := s.queue.first(match); t != nil {
+		return t
+	}
+	if s.reschedule && w.Cloud && w.DedicatedBatch != "" {
+		// Reschedule (§3.5): serve the cloud worker a duplicate of a
+		// running task. Cloud workers stay busy until the batch completes
+		// (Fig 5 commentary); least-duplicated tasks first, skipping
+		// tasks this worker already executes.
+		bt := s.batches[w.DedicatedBatch]
+		if bt == nil {
+			return nil
+		}
+		var best *xtask
+		bestDups := 0
+		for _, t := range bt.tasks {
+			if t.completed || !t.arrived || t.queued || len(t.execs) == 0 || t.execs[w] != nil {
+				continue
+			}
+			dups := t.cloudDups()
+			if best == nil || dups < bestDups {
+				best, bestDups = t, dups
+				if dups == 0 {
+					break
+				}
+			}
+		}
+		return best
+	}
+	return nil
+}
+
+func (s *Server) assign(w *middleware.Worker, t *xtask) {
+	st := s.attached[w]
+	if st == nil || st.cur != nil {
+		panic("xwhep: assigning to busy or detached worker")
+	}
+	st.cur = t
+	if t.queued {
+		t.queued = false
+		t.batch.running++
+	}
+	if !t.assigned {
+		t.assigned = true
+		t.batch.assigned++
+		s.listeners.TaskAssigned(t.batch.spec.ID, t.spec.ID, s.eng.Now())
+	}
+	ex := &exec{w: w}
+	t.execs[w] = ex
+	dur := t.spec.NOps / w.Power
+	ex.doneEv = s.eng.After(dur, func() { s.complete(w, t) })
+}
+
+// complete handles a result arriving from worker w for task t.
+func (s *Server) complete(w *middleware.Worker, t *xtask) {
+	if st := s.attached[w]; st != nil && st.cur == t {
+		st.cur = nil
+		s.idle.Add(w)
+	}
+	delete(t.execs, w)
+	if !t.completed {
+		s.finish(t, w)
+	}
+	s.dispatch()
+}
+
+// finish marks t completed, cancels duplicate executions and frees their
+// workers. by is the worker whose result completed the task (nil for
+// externally-merged results).
+func (s *Server) finish(t *xtask, by *middleware.Worker) {
+	bt := t.batch
+	if !t.queued && t.assigned {
+		bt.running--
+	}
+	t.completed = true
+	t.queued = false
+	bt.completed++
+	now := s.eng.Now()
+	s.listeners.TaskCompleted(bt.spec.ID, t.spec.ID, now)
+	s.listeners.NotifyExecutedBy(bt.spec.ID, t.spec.ID, by, now)
+	// Iterate executions in worker-ID order: map order would leak
+	// nondeterminism into the idle queue and break seed reproducibility.
+	for _, w := range sortedExecWorkers(t.execs) {
+		ex := t.execs[w]
+		s.eng.Cancel(ex.doneEv)
+		delete(t.execs, w)
+		if ex.dead {
+			continue
+		}
+		if st := s.attached[w]; st != nil && st.cur == t {
+			st.cur = nil
+			s.idle.Add(w)
+		}
+	}
+	if bt.completed >= bt.size && !bt.done {
+		bt.done = true
+		s.listeners.BatchCompleted(bt.spec.ID, now)
+	}
+}
+
+// MarkCompleted implements middleware.Server (result merging for Cloud
+// Duplication).
+func (s *Server) MarkCompleted(batchID string, taskID int) {
+	bt := s.batches[batchID]
+	if bt == nil || taskID < 0 || taskID >= len(bt.tasks) {
+		return
+	}
+	t := bt.tasks[taskID]
+	if t.completed {
+		return
+	}
+	s.finish(t, nil)
+	s.dispatch()
+}
+
+// Progress implements middleware.Server.
+func (s *Server) Progress(batchID string) middleware.Progress {
+	bt := s.batches[batchID]
+	if bt == nil {
+		return middleware.Progress{}
+	}
+	running, queued := 0, 0
+	for _, t := range bt.tasks {
+		switch {
+		case t.completed || !t.arrived:
+		case len(t.execs) > 0:
+			running++
+		case t.queued:
+			queued++
+		}
+	}
+	return middleware.Progress{
+		Size:         bt.size,
+		Arrived:      bt.arrived,
+		Completed:    bt.completed,
+		EverAssigned: bt.assigned,
+		Running:      running,
+		Queued:       queued,
+		Workers:      len(s.attached),
+	}
+}
+
+// Done implements middleware.Server.
+func (s *Server) Done(batchID string) bool {
+	bt := s.batches[batchID]
+	return bt != nil && bt.done
+}
+
+// Incomplete implements middleware.Server.
+func (s *Server) Incomplete(batchID string) []bot.Task {
+	bt := s.batches[batchID]
+	if bt == nil {
+		return nil
+	}
+	var out []bot.Task
+	for _, t := range bt.tasks {
+		if !t.completed {
+			spec := t.spec
+			spec.Arrival = 0
+			out = append(out, spec)
+		}
+	}
+	return out
+}
+
+var _ middleware.Server = (*Server)(nil)
+
+// WorkerBusy implements middleware.Server.
+func (s *Server) WorkerBusy(w *middleware.Worker) bool {
+	st := s.attached[w]
+	return st != nil && st.cur != nil
+}
+
+// sortedExecWorkers returns the execution map's workers in ID order.
+func sortedExecWorkers(execs map[*middleware.Worker]*exec) []*middleware.Worker {
+	out := make([]*middleware.Worker, 0, len(execs))
+	for w := range execs {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,118 @@
+// Package spequlos is the public API of this reproduction of "SpeQuloS: A
+// QoS Service for BoT Applications Using Best Effort Distributed Computing
+// Infrastructures" (Delamare, Fedak, Kondo, Lodygensky — HPDC 2012 / INRIA
+// RR-7890).
+//
+// SpeQuloS improves the Quality of Service of Bag-of-Tasks applications
+// running on best-effort infrastructures (desktop grids, best-effort grid
+// queues, cloud spot instances) by monitoring BoT progress and dynamically
+// provisioning stable cloud workers to execute the critical tail of the
+// BoT. This package re-exports the building blocks:
+//
+//   - workload and infrastructure models (BoT classes of Table 3, BE-DCI
+//     availability traces of Table 2),
+//   - the BOINC and XtremWeb-HEP middleware simulators,
+//   - the SpeQuloS service modules (Information, Credit System, Oracle,
+//     Scheduler) and every provisioning strategy of §3.5,
+//   - the trace-driven experiment harness that regenerates each table and
+//     figure of the paper's evaluation,
+//   - the deployable HTTP service layer (one web service per module).
+//
+// Quick start — compare one execution with and without SpeQuloS:
+//
+//	base := spequlos.Simulate(spequlos.Scenario{
+//	    Profile: spequlos.QuickProfile(), Middleware: "XWHEP",
+//	    TraceName: "seti", BotClass: "SMALL",
+//	})
+//	st := spequlos.DefaultStrategy()
+//	speq := spequlos.Simulate(spequlos.Scenario{
+//	    Profile: spequlos.QuickProfile(), Middleware: "XWHEP",
+//	    TraceName: "seti", BotClass: "SMALL", Strategy: &st,
+//	})
+//	fmt.Printf("speedup %.2fx\n", base.CompletionTime/speq.CompletionTime)
+//
+// See examples/ for runnable programs and cmd/ for the CLI tools.
+package spequlos
+
+import (
+	"spequlos/internal/core"
+	"spequlos/internal/experiments"
+)
+
+// Strategy combines a trigger (when to start cloud workers), a sizing rule
+// (how many) and a deployment mode (how they attach), named like the paper:
+// 9C-C-R = Completion threshold, Conservative, Reschedule.
+type Strategy = core.Strategy
+
+// Prediction is the Oracle's completion-time prediction with its historical
+// uncertainty (§3.4).
+type Prediction = core.Prediction
+
+// Trigger strategy implementations (§3.5).
+type (
+	// CompletionThreshold starts cloud workers at a completed fraction.
+	CompletionThreshold = core.CompletionThreshold
+	// AssignmentThreshold starts cloud workers at an assigned fraction.
+	AssignmentThreshold = core.AssignmentThreshold
+	// ExecutionVariance detects the tail from tc(x) − ta(x) doubling.
+	ExecutionVariance = core.ExecutionVariance
+	// Greedy starts the whole credit allowance at once.
+	Greedy = core.Greedy
+	// Conservative sizes the fleet to survive the estimated remaining time.
+	Conservative = core.Conservative
+)
+
+// Deployment modes (§3.5).
+const (
+	Flat             = core.Flat
+	Reschedule       = core.Reschedule
+	CloudDuplication = core.CloudDuplication
+)
+
+// CreditsPerCPUHour is the Credit System exchange rate (§3.3).
+const CreditsPerCPUHour = core.CreditsPerCPUHour
+
+// DefaultStrategy returns 9C-C-R, the paper's recommended combination.
+func DefaultStrategy() Strategy { return core.DefaultStrategy() }
+
+// AllStrategies enumerates the 18 combinations evaluated in Figs 4 and 5.
+func AllStrategies() []Strategy { return core.AllStrategies() }
+
+// StrategyByLabel parses a label like "9A-G-D".
+func StrategyByLabel(label string) (Strategy, error) { return core.StrategyByLabel(label) }
+
+// Scenario selects one simulated execution: middleware (BOINC or XWHEP),
+// BE-DCI trace (seti, nd, g5klyo, g5kgre, spot10, spot100), BoT class
+// (SMALL, BIG, RANDOM), submission offset, and optionally a SpeQuloS
+// strategy (nil = baseline).
+type Scenario = experiments.Scenario
+
+// Result is the outcome and metrics of one simulated execution.
+type Result = experiments.Result
+
+// Profile scales the experiment matrix (BoT sizes, node pools, offsets).
+type Profile = experiments.Profile
+
+// QuickProfile returns the benchmark-scale profile.
+func QuickProfile() Profile { return experiments.Quick() }
+
+// StandardProfile returns the EXPERIMENTS.md-scale profile.
+func StandardProfile() Profile { return experiments.Standard() }
+
+// FullProfile returns the paper-scale profile.
+func FullProfile() Profile { return experiments.Full() }
+
+// Simulate runs one scenario to completion and returns its metrics. Runs
+// are deterministic in the scenario's seed; pairing a baseline and a
+// SpeQuloS run of the same scenario reproduces the paper's paired
+// comparisons.
+func Simulate(sc Scenario) Result { return experiments.Run(sc) }
+
+// Middlewares lists the supported middleware names.
+func Middlewares() []string { return experiments.Middlewares() }
+
+// TraceNames lists the six BE-DCI traces of Table 2.
+func TraceNames() []string { return experiments.TraceNames() }
+
+// BotClasses lists the three workload classes of Table 3.
+func BotClasses() []string { return experiments.BotClasses() }
