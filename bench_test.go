@@ -1,13 +1,20 @@
 // Benchmarks regenerating each table and figure of the paper's evaluation
-// at the quick experiment scale. `go test -bench=. -benchmem` exercises the
-// entire pipeline; cmd/spequlos-bench produces the full-scale artifacts.
+// at the quick experiment scale. The simulation matrix executes ONCE per
+// `go test -bench` process through the campaign engine (benchStore); the
+// per-figure benchmarks measure deriving each artifact from the shared
+// result store. Campaign execution itself is measured separately
+// (BenchmarkCampaignExecution, BenchmarkSingleRun*); cmd/spequlos-bench
+// produces the full-scale artifacts.
 package spequlos
 
 import (
+	"context"
+	"sync"
 	"testing"
 	"time"
 
 	"spequlos/internal/bot"
+	"spequlos/internal/campaign"
 	"spequlos/internal/cloud"
 	"spequlos/internal/core"
 	"spequlos/internal/experiments"
@@ -16,7 +23,7 @@ import (
 )
 
 // benchProfile is the quick profile with a single offset so individual
-// benchmark iterations stay comparable.
+// benchmark derivations stay comparable.
 func benchProfile() experiments.Profile {
 	p := experiments.Quick()
 	p.Offsets = 1
@@ -33,12 +40,67 @@ func benchSpec(strategies ...core.Strategy) experiments.MatrixSpec {
 	}
 }
 
+// benchStrategies are the two contrasting combinations the benchmarks use
+// instead of all 18, to keep the shared campaign minute-scale.
+func benchStrategies() (core.Strategy, core.Strategy) {
+	st1 := core.DefaultStrategy()
+	st2, _ := core.StrategyByLabel("9A-G-F")
+	return st1, st2
+}
+
+// benchOpts scopes the shared campaign: the bench matrix, the ablation
+// sweeps and the middleware comparison, planned once and deduplicated.
+func benchOpts() experiments.ArtifactOptions {
+	st1, st2 := benchStrategies()
+	return experiments.ArtifactOptions{
+		Spec:             benchSpec(st1, st2),
+		Ablations:        true,
+		Comparison:       true,
+		ComparisonTraces: []string{"seti"},
+	}
+}
+
+var benchShared struct {
+	once  sync.Once
+	store *campaign.ResultStore
+	err   error
+}
+
+// benchStore executes the shared quick-scale campaign once per process;
+// every derivation benchmark reads from it. The campaign plans with two
+// offsets (Table 4 needs several executions per environment); benchmarks
+// that want a single offset derive with benchProfile().
+func benchStore(b *testing.B) *campaign.ResultStore {
+	b.Helper()
+	benchShared.once.Do(func() {
+		p := experiments.Quick()
+		c := &campaign.Campaign{Profile: p, Plan: experiments.PlanArtifacts(p, benchOpts())}
+		benchShared.store = campaign.NewResultStore()
+		_, benchShared.err = c.Run(context.Background(), benchShared.store)
+	})
+	if benchShared.err != nil {
+		b.Fatal(benchShared.err)
+	}
+	return benchShared.store
+}
+
+// benchMatrix derives the Matrix view of the shared store.
+func benchMatrix(b *testing.B, p experiments.Profile, spec experiments.MatrixSpec) experiments.Matrix {
+	b.Helper()
+	m, err := experiments.MatrixFrom(benchStore(b), p, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
 func BenchmarkFigure1ExecutionProfile(b *testing.B) {
+	store := benchStore(b)
 	p := benchProfile()
 	for i := 0; i < b.N; i++ {
-		f := experiments.BuildFigure1(p)
-		if len(f.Series) == 0 {
-			b.Fatal("empty curve")
+		f, err := experiments.Figure1From(store, p)
+		if err != nil || len(f.Series) == 0 {
+			b.Fatal("empty curve", err)
 		}
 	}
 }
@@ -46,7 +108,7 @@ func BenchmarkFigure1ExecutionProfile(b *testing.B) {
 func BenchmarkFigure2TailSlowdownCDF(b *testing.B) {
 	p := benchProfile()
 	for i := 0; i < b.N; i++ {
-		m := experiments.RunMatrix(p, benchSpec())
+		m := benchMatrix(b, p, benchSpec())
 		f := experiments.BuildFigure2(m.BaseResults())
 		if len(f.Slowdowns) == 0 {
 			b.Fatal("empty figure")
@@ -57,7 +119,7 @@ func BenchmarkFigure2TailSlowdownCDF(b *testing.B) {
 func BenchmarkTable1TailFractions(b *testing.B) {
 	p := benchProfile()
 	for i := 0; i < b.N; i++ {
-		m := experiments.RunMatrix(p, benchSpec())
+		m := benchMatrix(b, p, benchSpec())
 		t1 := experiments.BuildTable1(m.BaseResults())
 		if len(t1.Rows) == 0 {
 			b.Fatal("empty table")
@@ -95,12 +157,9 @@ func BenchmarkFigure3ServiceSequence(b *testing.B) {
 
 func BenchmarkFigure4TailRemovalEfficiency(b *testing.B) {
 	p := benchProfile()
-	// Two contrasting combinations instead of all 18, to keep iterations
-	// minute-scale; the full sweep lives in cmd/spequlos-bench.
-	st1 := core.DefaultStrategy()
-	st2, _ := core.StrategyByLabel("9A-G-F")
+	st1, st2 := benchStrategies()
 	for i := 0; i < b.N; i++ {
-		m := experiments.RunMatrix(p, benchSpec(st1, st2))
+		m := benchMatrix(b, p, benchSpec(st1, st2))
 		f := experiments.BuildFigure4(m)
 		if len(f.TRE) == 0 {
 			b.Fatal("empty figure")
@@ -110,9 +169,9 @@ func BenchmarkFigure4TailRemovalEfficiency(b *testing.B) {
 
 func BenchmarkFigure5CreditConsumption(b *testing.B) {
 	p := benchProfile()
-	st := core.DefaultStrategy()
+	st, _ := benchStrategies()
 	for i := 0; i < b.N; i++ {
-		m := experiments.RunMatrix(p, benchSpec(st))
+		m := benchMatrix(b, p, benchSpec(st))
 		f := experiments.BuildFigure5(m)
 		if len(f.SpentFraction) == 0 {
 			b.Fatal("empty figure")
@@ -122,9 +181,9 @@ func BenchmarkFigure5CreditConsumption(b *testing.B) {
 
 func BenchmarkFigure6CompletionTimes(b *testing.B) {
 	p := benchProfile()
-	st := core.DefaultStrategy()
+	st, _ := benchStrategies()
 	for i := 0; i < b.N; i++ {
-		m := experiments.RunMatrix(p, benchSpec(st))
+		m := benchMatrix(b, p, benchSpec(st))
 		f := experiments.BuildFigure6(m, st.Label())
 		if len(f.Cells) == 0 {
 			b.Fatal("empty figure")
@@ -134,9 +193,9 @@ func BenchmarkFigure6CompletionTimes(b *testing.B) {
 
 func BenchmarkFigure7Stability(b *testing.B) {
 	p := benchProfile()
-	st := core.DefaultStrategy()
+	st, _ := benchStrategies()
 	for i := 0; i < b.N; i++ {
-		m := experiments.RunMatrix(p, benchSpec(st))
+		m := benchMatrix(b, p, benchSpec(st))
 		f := experiments.BuildFigure7(m, st.Label())
 		if len(f.NoSpeq) == 0 {
 			b.Fatal("empty figure")
@@ -147,9 +206,9 @@ func BenchmarkFigure7Stability(b *testing.B) {
 func BenchmarkTable4PredictionSuccess(b *testing.B) {
 	p := benchProfile()
 	p.Offsets = 2 // success rates need a few executions per environment
-	st := core.DefaultStrategy()
+	st, _ := benchStrategies()
 	for i := 0; i < b.N; i++ {
-		m := experiments.RunMatrix(p, benchSpec(st))
+		m := benchMatrix(b, p, benchSpec(st))
 		t4 := experiments.BuildTable4(m, st.Label())
 		if t4.Overall < 0 || t4.Overall > 1 {
 			b.Fatal("invalid success rate")
@@ -162,6 +221,20 @@ func BenchmarkTable5EDGIDeployment(b *testing.B) {
 		t5 := experiments.BuildTable5(2, 6, uint64(i)+1)
 		if t5.LALTasks == 0 {
 			b.Fatal("no tasks executed")
+		}
+	}
+}
+
+// BenchmarkCampaignExecution measures the campaign engine end-to-end: plan
+// the bench matrix and execute every unique job into a fresh store.
+func BenchmarkCampaignExecution(b *testing.B) {
+	p := benchProfile()
+	st, _ := benchStrategies()
+	jobs := benchSpec(st).Jobs(p)
+	for i := 0; i < b.N; i++ {
+		store, stats, err := campaign.RunCampaign(context.Background(), p, jobs)
+		if err != nil || store.Len() != stats.Executed || stats.Executed != len(jobs) {
+			b.Fatalf("campaign broken: %v %+v", err, stats)
 		}
 	}
 }
@@ -238,41 +311,45 @@ func runServiceSequence(b *testing.B) {
 }
 
 func BenchmarkAblationCreditFraction(b *testing.B) {
+	store := benchStore(b)
 	p := benchProfile()
 	for i := 0; i < b.N; i++ {
-		pts := experiments.CreditFractionSweep(p, []float64{0.05, 0.10})
-		if len(pts) != 2 {
-			b.Fatal("sweep broken")
+		pts, err := experiments.CreditFractionSweepFrom(store, p, nil)
+		if err != nil || len(pts) != 4 {
+			b.Fatal("sweep broken", err)
 		}
 	}
 }
 
 func BenchmarkAblationMonitorPeriod(b *testing.B) {
+	store := benchStore(b)
 	p := benchProfile()
 	for i := 0; i < b.N; i++ {
-		pts := experiments.MonitorPeriodSweep(p, []float64{60, 300})
-		if len(pts) != 2 {
-			b.Fatal("sweep broken")
+		pts, err := experiments.MonitorPeriodSweepFrom(store, p, nil)
+		if err != nil || len(pts) != 4 {
+			b.Fatal("sweep broken", err)
 		}
 	}
 }
 
 func BenchmarkAblationCapacityTrigger(b *testing.B) {
+	store := benchStore(b)
 	p := benchProfile()
 	for i := 0; i < b.N; i++ {
-		pts := experiments.TriggerAblation(p)
-		if len(pts) != 2 {
-			b.Fatal("ablation broken")
+		pts, err := experiments.TriggerAblationFrom(store, p)
+		if err != nil || len(pts) != 2 {
+			b.Fatal("ablation broken", err)
 		}
 	}
 }
 
 func BenchmarkExtensionMiddlewareComparison(b *testing.B) {
+	store := benchStore(b)
 	p := benchProfile()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.CompareMiddleware(p, []string{"seti"}, "BIG")
-		if len(rows) != 3 {
-			b.Fatal("comparison broken")
+		rows, err := experiments.CompareMiddlewareFrom(store, p, []string{"seti"}, "BIG")
+		if err != nil || len(rows) != 3 {
+			b.Fatal("comparison broken", err)
 		}
 	}
 }

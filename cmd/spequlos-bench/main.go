@@ -1,5 +1,7 @@
 // Command spequlos-bench regenerates every table and figure of the paper's
-// evaluation (§4) and writes them under -out (default results/):
+// evaluation (§4) from ONE campaign — each unique (scenario, strategy)
+// simulation executes exactly once, and every artifact derives from the
+// shared result store — and writes them under -out (default results/):
 //
 //	figure1.txt            example execution profile with tail annotations
 //	figure2.{txt,csv}      tail slowdown CDF per middleware
@@ -10,31 +12,44 @@
 //	figure6.txt            completion times with/without SpeQuloS (9C-C-R)
 //	figure7.{txt,csv}      execution stability
 //	table4.{txt,csv}       prediction success rates
+//	ablation-*.txt         design-choice sweeps (-ablations)
+//	comparison.txt         three-middleware comparison (-comparison)
 //	summary.txt            everything concatenated
+//	BENCH_<profile>.json   machine-readable perf report (campaign
+//	                       throughput + per-artifact wall-clock)
 //
 // The -profile flag selects quick / standard / full scale (see
-// internal/experiments); -strategies limits the Fig 4/5 sweep.
+// internal/experiments); -strategies limits the Fig 4/5 sweep. The -store
+// flag persists the campaign's result store as JSON: re-running with the
+// same store resumes, executing only jobs not already stored.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"spequlos/internal/campaign"
 	"spequlos/internal/core"
 	"spequlos/internal/experiments"
 )
 
 func main() {
 	var (
-		profile = flag.String("profile", "standard", "experiment profile: quick standard full")
-		out     = flag.String("out", "results", "output directory")
-		strats  = flag.String("strategies", "all", "comma-separated strategy labels for the sweep, or 'all'")
-		verbose = flag.Bool("v", false, "log per-scenario progress")
+		profile    = flag.String("profile", "standard", "experiment profile: quick standard full")
+		out        = flag.String("out", "results", "output directory")
+		strats     = flag.String("strategies", "all", "comma-separated strategy labels for the sweep, or 'all'")
+		storePath  = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
+		ablations  = flag.Bool("ablations", false, "run the design-choice ablation sweeps")
+		comparison = flag.Bool("comparison", false, "run the three-middleware comparison")
+		verbose    = flag.Bool("v", false, "log per-scenario progress")
 	)
 	flag.Parse()
 
@@ -58,27 +73,47 @@ func main() {
 			strategies = append(strategies, st)
 		}
 	}
-	defaultLabel := core.DefaultStrategy().Label()
-	hasDefault := false
-	for _, st := range strategies {
-		if st.Label() == defaultLabel {
-			hasDefault = true
+
+	opts := experiments.ArtifactOptions{
+		Spec:       experiments.MatrixSpec{Strategies: strategies},
+		Ablations:  *ablations,
+		Comparison: *comparison,
+	}
+	opts.Store = campaign.NewResultStore()
+	if *storePath != "" {
+		store, loaded, err := campaign.LoadFileIfExists(*storePath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = store
+		if loaded {
+			fmt.Printf("resuming from %s (%d stored results)\n", *storePath, store.Len())
 		}
 	}
-	if !hasDefault {
-		strategies = append(strategies, core.DefaultStrategy())
+	if *verbose {
+		opts.Progress = campaign.LogProgress(os.Stderr)
 	}
 
-	spec := experiments.MatrixSpec{Strategies: strategies}
-	if *verbose {
-		spec.Log = os.Stderr
-	}
+	// Ctrl-C cancels the campaign; the store saved so far still persists,
+	// so the next run with the same -store resumes where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	start := time.Now()
-	fmt.Printf("running %s matrix: 2 middleware × 6 traces × 3 BoT classes × %d offsets × %d strategies…\n",
-		p.Name, p.Offsets, len(strategies))
-	m := experiments.RunMatrix(p, spec)
-	fmt.Printf("matrix done in %v (%d cells)\n", time.Since(start).Round(time.Second), len(m.Pairs))
+	fmt.Printf("running %s campaign: %d unique simulation jobs…\n",
+		p.Name, experiments.PlanArtifacts(p, opts).Len())
+	a, stats, err := experiments.BuildArtifacts(ctx, p, opts)
+	if *storePath != "" {
+		if serr := opts.Store.SaveFile(*storePath); serr != nil {
+			fatal(serr)
+		}
+		fmt.Printf("store saved to %s (%d results)\n", *storePath, opts.Store.Len())
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("campaign done in %v: %d executed, %d cached, %.0f events/sec\n",
+		stats.Elapsed.Round(time.Second), stats.Executed, stats.Cached, stats.EventsPerSecond())
 
 	var summary strings.Builder
 	emit := func(name, text, csv string) {
@@ -108,58 +143,110 @@ func main() {
 		}
 	}
 
-	f1 := experiments.BuildFigure1(p)
-	emit("figure1", f1.Render(), "")
-	emitSVG("figure1", experiments.Figure1Chart(f1))
+	defaultLabel := a.DefaultStrategyLabel()
+	emit("figure1", a.Figure1.Render(), "")
+	emitSVG("figure1", experiments.Figure1Chart(a.Figure1))
 
-	bases := m.BaseResults()
-	f2 := experiments.BuildFigure2(bases)
-	emit("figure2", f2.Render(), figure2CSV(f2))
-	emitSVG("figure2", experiments.Figure2Chart(f2))
+	emit("figure2", a.Figure2.Render(), figure2CSV(a.Figure2))
+	emitSVG("figure2", experiments.Figure2Chart(a.Figure2))
 
-	t1 := experiments.BuildTable1(bases)
-	emit("table1", t1.Render(), "")
+	emit("table1", a.Table1.Render(), "")
+	emit("table2", experiments.RenderTable2(a.Table2), "")
 
-	t2rows := experiments.BuildTable2(7, 20260611)
-	emit("table2", experiments.RenderTable2(t2rows), "")
-
-	f4 := experiments.BuildFigure4(m)
-	emit("figure4", f4.Render(), "")
+	emit("figure4", a.Figure4.Render(), "")
 	for _, deploy := range []string{"F", "R", "D"} {
-		emitSVG("figure4"+strings.ToLower(deploy), experiments.Figure4Chart(f4, deploy))
+		emitSVG("figure4"+strings.ToLower(deploy), experiments.Figure4Chart(a.Figure4, deploy))
 	}
 
-	f5 := experiments.BuildFigure5(m)
-	emit("figure5", f5.Render(), "")
-	emitSVG("figure5", experiments.Figure5Chart(f5))
+	emit("figure5", a.Figure5.Render(), "")
+	emitSVG("figure5", experiments.Figure5Chart(a.Figure5))
 
-	f6 := experiments.BuildFigure6(m, defaultLabel)
-	emit("figure6", f6.Render(), "")
+	emit("figure6", a.Figure6.Render(), "")
 	for _, mw := range experiments.Middlewares() {
 		for _, bc := range experiments.BotClasses() {
-			if len(f6.Cells[mw][bc]) > 0 {
+			if len(a.Figure6.Cells[mw][bc]) > 0 {
 				emitSVG("figure6-"+strings.ToLower(mw)+"-"+strings.ToLower(bc),
-					experiments.Figure6Chart(f6, mw, bc))
+					experiments.Figure6Chart(a.Figure6, mw, bc))
 			}
 		}
 	}
 
-	f7 := experiments.BuildFigure7(m, defaultLabel)
-	emit("figure7", f7.Render(), "")
+	emit("figure7", a.Figure7.Render(), "")
 	for _, mw := range experiments.Middlewares() {
-		emitSVG("figure7-"+strings.ToLower(mw), experiments.Figure7Chart(f7, mw))
+		emitSVG("figure7-"+strings.ToLower(mw), experiments.Figure7Chart(a.Figure7, mw))
 	}
 
-	t4 := experiments.BuildTable4(m, defaultLabel)
-	emit("table4", t4.Render(), "")
+	emit("table4", a.Table4.Render(), "")
+	emit("table5", a.Table5.Render(), "")
 
-	t5 := experiments.BuildTable5(4, 12, 20260611)
-	emit("table5", t5.Render(), "")
+	if *ablations {
+		emit("ablation-credits", experiments.RenderAblation(
+			"Ablation — credit provisioning fraction", a.CreditSweep), "")
+		emit("ablation-period", experiments.RenderAblation(
+			"Ablation — monitoring period", a.PeriodSweep), "")
+		emit("ablation-trigger", experiments.RenderAblation(
+			"Ablation — trigger strategy", a.TriggerSweep), "")
+	}
+	if *comparison {
+		emit("comparison", experiments.RenderMiddlewareComparison(a.Comparison, "BIG"), "")
+	}
 
 	if err := os.WriteFile(filepath.Join(*out, "summary.txt"), []byte(summary.String()), 0o644); err != nil {
 		fatal(err)
 	}
+	if err := writeBenchReport(filepath.Join(*out, "BENCH_"+p.Name+".json"),
+		p, defaultLabel, stats, a, time.Since(start)); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("all artifacts written to %s/ in %v\n", *out, time.Since(start).Round(time.Second))
+}
+
+// benchReport is the machine-readable perf record of one artifact run.
+type benchReport struct {
+	Profile         string            `json:"profile"`
+	DefaultStrategy string            `json:"default_strategy"`
+	PlannedJobs     int               `json:"planned_jobs"`
+	ExecutedJobs    int               `json:"executed_jobs"`
+	CachedJobs      int               `json:"cached_jobs"`
+	SimEvents       uint64            `json:"sim_events"`
+	EventsPerSec    float64           `json:"events_per_sec"`
+	CampaignSecs    float64           `json:"campaign_wallclock_s"`
+	TotalSecs       float64           `json:"total_wallclock_s"`
+	Artifacts       []artifactTimingJ `json:"artifacts"`
+}
+
+type artifactTimingJ struct {
+	Name      string  `json:"name"`
+	Wallclock float64 `json:"wallclock_s"`
+}
+
+func writeBenchReport(path string, p experiments.Profile, defaultLabel string,
+	stats campaign.Stats, a experiments.Artifacts, total time.Duration) error {
+	r := benchReport{
+		Profile:         p.Name,
+		DefaultStrategy: defaultLabel,
+		PlannedJobs:     stats.Planned,
+		ExecutedJobs:    stats.Executed,
+		CachedJobs:      stats.Cached,
+		SimEvents:       stats.Events,
+		EventsPerSec:    stats.EventsPerSecond(),
+		CampaignSecs:    stats.Elapsed.Seconds(),
+		TotalSecs:       total.Seconds(),
+	}
+	for _, t := range a.Timings {
+		r.Artifacts = append(r.Artifacts, artifactTimingJ{Name: t.Name, Wallclock: t.Elapsed.Seconds()})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func figure2CSV(f experiments.Figure2) string {

@@ -8,25 +8,36 @@
 // The -strategy flag accepts the paper's combination labels (9C/9A/D for
 // the trigger, G/C for sizing, F/R/D for deployment), or "none" for a
 // baseline-only run, or "all" to compare every combination.
+//
+// All runs execute through one campaign: the baseline and every strategy
+// variant are planned up front and run on a bounded worker pool. The
+// -store flag persists the result store as JSON; re-running with the same
+// store skips simulations already recorded (resume), and -v streams
+// per-job progress.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"spequlos/internal/campaign"
 	"spequlos/internal/core"
 	"spequlos/internal/experiments"
 )
 
 func main() {
 	var (
-		mw       = flag.String("middleware", "XWHEP", "middleware: BOINC or XWHEP")
-		tn       = flag.String("trace", "seti", "BE-DCI trace: seti nd g5klyo g5kgre spot10 spot100")
-		bc       = flag.String("bot", "SMALL", "BoT class: SMALL BIG RANDOM")
-		strategy = flag.String("strategy", "9C-C-R", "strategy label, 'none' or 'all'")
-		profile  = flag.String("profile", "standard", "experiment profile: quick standard full")
-		offset   = flag.Int("offset", 0, "submission offset index (changes the seed)")
+		mw        = flag.String("middleware", "XWHEP", "middleware: BOINC, XWHEP or CONDOR")
+		tn        = flag.String("trace", "seti", "BE-DCI trace: seti nd g5klyo g5kgre spot10 spot100")
+		bc        = flag.String("bot", "SMALL", "BoT class: SMALL BIG RANDOM")
+		strategy  = flag.String("strategy", "9C-C-R", "strategy label, 'none' or 'all'")
+		profile   = flag.String("profile", "standard", "experiment profile: quick standard full")
+		offset    = flag.Int("offset", 0, "submission offset index (changes the seed)")
+		storePath = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
+		verbose   = flag.Bool("v", false, "log per-job progress")
 	)
 	flag.Parse()
 
@@ -40,9 +51,15 @@ func main() {
 	if _, err := experiments.TraceSource(*tn); err != nil {
 		fatal(err)
 	}
-
-	base := experiments.Run(sc)
-	report("baseline", base)
+	validMW := false
+	for _, name := range experiments.AllMiddlewares() {
+		if name == *mw {
+			validMW = true
+		}
+	}
+	if !validMW {
+		fatal(fmt.Errorf("unknown middleware %q (use BOINC, XWHEP or CONDOR)", *mw))
+	}
 
 	var strategies []core.Strategy
 	switch *strategy {
@@ -56,12 +73,57 @@ func main() {
 		}
 		strategies = []core.Strategy{st}
 	}
+
+	// Plan the whole comparison as one campaign: the baseline plus one job
+	// per strategy, all paired on the same seed.
+	baseJob := campaign.Job{Scenario: sc}
+	jobs := []campaign.Job{baseJob}
+	var strategyJobs []campaign.Job
 	for _, st := range strategies {
 		st := st
 		scs := sc
 		scs.Strategy = &st
-		res := experiments.Run(scs)
-		report(st.Label(), res)
+		j := campaign.Job{Scenario: scs}
+		jobs = append(jobs, j)
+		strategyJobs = append(strategyJobs, j)
+	}
+
+	store := campaign.NewResultStore()
+	if *storePath != "" {
+		var err error
+		store, _, err = campaign.LoadFileIfExists(*storePath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	c := campaign.New(p, jobs...)
+	if *verbose {
+		c.Progress = campaign.LogProgress(os.Stderr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	_, runErr := c.Run(ctx, store)
+	if *storePath != "" {
+		if err := store.SaveFile(*storePath); err != nil {
+			fatal(err)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
+	base, ok := store.Result(baseJob)
+	if !ok {
+		fatal(fmt.Errorf("baseline missing from store"))
+	}
+	report("baseline", base)
+	for _, j := range strategyJobs {
+		res, ok := store.Result(j)
+		if !ok {
+			fatal(fmt.Errorf("strategy run missing from store"))
+		}
+		report(j.Scenario.StrategyLabel(), res)
 		if base.Completed && res.Completed && res.CompletionTime > 0 {
 			fmt.Printf("  speedup vs baseline: %.2fx\n", base.CompletionTime/res.CompletionTime)
 		}

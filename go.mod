@@ -1,0 +1,3 @@
+module spequlos
+
+go 1.24

@@ -1,0 +1,250 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"spequlos/internal/core"
+)
+
+// Job is one unique simulation to execute: a scenario, optionally with a
+// non-standard service configuration (the knob the ablation sweeps turn).
+// Jobs are identified by a content key; planning the same job twice — for
+// example because two figures consume the same cell — executes it once.
+type Job struct {
+	Scenario Scenario
+	// Variant is the display label of a non-standard service configuration
+	// (recorded in the store entry); the key derives from the actual
+	// configuration, so two variants configured identically — or a variant
+	// configured exactly like a plain strategy run — execute once.
+	Variant string
+	// Config overrides the SpeQuloS service configuration for variant jobs.
+	// Its CloudServerFactory is bound to the job's own engine by the runner
+	// and must be left nil.
+	Config *core.Config
+	// CreditFraction overrides Profile.CreditFraction for variant jobs.
+	CreditFraction *float64
+	// KeepSeries records the full completion series in the store entry
+	// (needed by Figure 1). Plans merge this flag across duplicate jobs.
+	KeepSeries bool
+}
+
+// Key is the content key identifying the simulation: profile (name plus
+// the simulation-affecting scale parameters, so a resumed store never
+// serves results computed under different parameters), scenario
+// coordinates, effective service configuration and seed. Two jobs with
+// equal keys produce identical entries.
+func (j Job) Key() string {
+	sc := j.Scenario
+	p := sc.Profile
+	return fmt.Sprintf("%s@bs%g,pc%d,h%g,cf%g|%s|%s|%s|%d|%s|%d",
+		p.Name, p.BotScale, p.PoolCap, p.HorizonDays, p.CreditFraction,
+		sc.Middleware, sc.TraceName, sc.BotClass, sc.Offset,
+		j.configKey(), sc.Seed())
+}
+
+// configKey canonicalizes the effective SpeQuloS configuration of the job.
+// Strategy labels are not injective — two completion thresholds can share
+// a code — so the key includes the full trigger and sizing values; and a
+// variant job configured exactly like a plain strategy run keys (and
+// executes) as that run.
+func (j Job) configKey() string {
+	st := j.Scenario.Strategy
+	mp := defaultMonitorPeriod
+	cf := j.Scenario.Profile.CreditFraction
+	if j.Config != nil {
+		st = &j.Config.Strategy
+		mp = j.Config.MonitorPeriod
+		if j.CreditFraction != nil {
+			cf = *j.CreditFraction
+		}
+	}
+	if st == nil {
+		return "" // baseline: no SpeQuloS service
+	}
+	return fmt.Sprintf("%s<%+v/%+v>,mp%g,cf%g", st.Label(), st.Trigger, st.Sizing, mp, cf)
+}
+
+// Plan is an ordered, deduplicated set of jobs. Adding a job whose key is
+// already planned merges its KeepSeries need instead of queueing a second
+// execution.
+type Plan struct {
+	jobs  []Job
+	index map[string]int
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{index: map[string]int{}} }
+
+// Add plans jobs, deduplicating by content key.
+func (p *Plan) Add(jobs ...Job) {
+	if p.index == nil {
+		p.index = map[string]int{}
+	}
+	for _, j := range jobs {
+		key := j.Key()
+		if i, ok := p.index[key]; ok {
+			if j.KeepSeries {
+				p.jobs[i].KeepSeries = true
+			}
+			continue
+		}
+		p.index[key] = len(p.jobs)
+		p.jobs = append(p.jobs, j)
+	}
+}
+
+// Jobs returns the planned jobs in insertion order.
+func (p *Plan) Jobs() []Job {
+	out := make([]Job, len(p.jobs))
+	copy(out, p.jobs)
+	return out
+}
+
+// Len returns the number of unique jobs planned.
+func (p *Plan) Len() int { return len(p.jobs) }
+
+// Event is one streaming progress notification: a job finished (or was
+// served from the store).
+type Event struct {
+	Key    string
+	Done   int // jobs finished so far, including this one
+	Total  int // unique jobs planned
+	Cached bool
+	Result Result
+}
+
+// Stats summarizes a campaign run.
+type Stats struct {
+	Planned  int           // unique jobs planned
+	Executed int           // jobs actually simulated
+	Cached   int           // jobs served from the store (resume)
+	Events   uint64        // simulation events executed by this run
+	Elapsed  time.Duration // wall clock of the run
+}
+
+// EventsPerSecond is the simulation throughput of the run.
+func (s Stats) EventsPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Elapsed.Seconds()
+}
+
+// Campaign executes a plan of unique jobs on a bounded worker pool and
+// fills a ResultStore. Jobs already present in the store are not re-run,
+// which is what makes save→load→run resumption work.
+type Campaign struct {
+	// Profile provides the default parallelism bound.
+	Profile Profile
+	// Plan holds the unique jobs; use NewPlan().Add(...) or assign Jobs.
+	Plan *Plan
+	// Parallelism bounds concurrent simulations (0 = Profile.Workers()).
+	Parallelism int
+	// Progress, when non-nil, receives one event per finished job. Events
+	// stream while the campaign runs; callbacks are serialized.
+	Progress func(Event)
+}
+
+// New builds a campaign over the given jobs.
+func New(p Profile, jobs ...Job) *Campaign {
+	plan := NewPlan()
+	plan.Add(jobs...)
+	return &Campaign{Profile: p, Plan: plan}
+}
+
+// Run executes every planned job not already present in store, bounded by
+// the campaign's parallelism, until done or ctx is cancelled. Partial
+// results stay in the store, so a cancelled campaign can be resumed by
+// running it again with the same store.
+func (c *Campaign) Run(ctx context.Context, store *ResultStore) (Stats, error) {
+	start := time.Now()
+	if c.Plan == nil {
+		c.Plan = NewPlan()
+	}
+	jobs := c.Plan.Jobs()
+	stats := Stats{Planned: len(jobs)}
+
+	// Serve cached entries first: a stored entry satisfies a job unless the
+	// job needs the completion series and the entry lacks it.
+	var pending []Job
+	done := 0
+	for _, j := range jobs {
+		e, ok := store.Get(j.Key())
+		if ok && (!j.KeepSeries || len(e.Series) > 0) {
+			stats.Cached++
+			done++
+			if c.Progress != nil {
+				c.Progress(Event{Key: e.Key, Done: done, Total: len(jobs), Cached: true, Result: e.Result})
+			}
+			continue
+		}
+		pending = append(pending, j)
+	}
+
+	workers := c.Parallelism
+	if workers <= 0 {
+		workers = c.Profile.Workers()
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	jobCh := make(chan Job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				e := Execute(j)
+				store.Put(e)
+				mu.Lock()
+				stats.Executed++
+				stats.Events += e.Result.Events
+				done++
+				if c.Progress != nil {
+					c.Progress(Event{Key: e.Key, Done: done, Total: len(jobs), Result: e.Result})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, j := range pending {
+		select {
+		case jobCh <- j:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	return stats, ctx.Err()
+}
+
+// LogProgress returns a Progress callback printing one line per finished
+// job to w — the shared CLI progress stream.
+func LogProgress(w io.Writer) func(Event) {
+	return func(ev Event) {
+		state := "done"
+		if ev.Cached {
+			state = "cached"
+		}
+		fmt.Fprintf(w, "%s %s (%d/%d)\n", state, ev.Key, ev.Done, ev.Total)
+	}
+}
+
+// RunCampaign is shorthand for building a campaign over jobs and running it
+// into a fresh store.
+func RunCampaign(ctx context.Context, p Profile, jobs []Job) (*ResultStore, Stats, error) {
+	store := NewResultStore()
+	c := New(p, jobs...)
+	stats, err := c.Run(ctx, store)
+	return store, stats, err
+}

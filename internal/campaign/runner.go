@@ -1,0 +1,174 @@
+package campaign
+
+import (
+	"fmt"
+
+	"spequlos/internal/bot"
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/metrics"
+	"spequlos/internal/middleware"
+	"spequlos/internal/sim"
+	"spequlos/internal/xwhep"
+)
+
+// defaultMonitorPeriod is the paper's one-minute monitoring loop (§3.2),
+// used by plain strategy runs; variant jobs override it via Job.Config.
+const defaultMonitorPeriod = 60.0
+
+// recorder captures exact per-task completion times.
+type recorder struct {
+	batchID     string
+	completions []float64
+}
+
+func (r *recorder) TaskAssigned(string, int, float64) {}
+func (r *recorder) TaskCompleted(batchID string, _ int, at float64) {
+	if batchID == r.batchID {
+		r.completions = append(r.completions, at)
+	}
+}
+func (r *recorder) BatchCompleted(string, float64) {}
+
+// Run executes a plain scenario (no variant configuration), retrying with a
+// doubled horizon if the trace window proved too short to finish the BoT.
+func Run(sc Scenario) Result {
+	return Execute(Job{Scenario: sc}).Result
+}
+
+// Execute runs one job to completion, retrying with a doubled horizon if the
+// trace window proved too short to finish the BoT.
+func Execute(j Job) Entry {
+	horizon := j.Scenario.Profile.HorizonDays * 86400
+	var e Entry
+	for attempt := 0; attempt < 3; attempt++ {
+		e = executeOnce(j, horizon)
+		if e.Result.Completed {
+			break
+		}
+		horizon *= 2
+	}
+	e.Key = j.Key()
+	e.Variant = j.Variant
+	e.Profile = j.Scenario.Profile.Name
+	return e
+}
+
+// executeOnce is one bounded-horizon simulation of a job. All randomness
+// derives from the scenario seed, so the same job always yields the same
+// entry regardless of execution order or worker count.
+func executeOnce(j Job, horizon float64) Entry {
+	sc := j.Scenario
+	seed := sc.Seed()
+	res := Result{
+		Middleware: sc.Middleware, TraceName: sc.TraceName, BotClass: sc.BotClass,
+		Offset: sc.Offset, Seed: seed,
+	}
+
+	// Resolve the service configuration: a variant job carries its own
+	// config (the knob the ablations turn); a strategy scenario uses the
+	// paper's monitoring defaults; a baseline runs without SpeQuloS.
+	var cfg core.Config
+	useService := false
+	creditFraction := sc.Profile.CreditFraction
+	switch {
+	case j.Config != nil:
+		cfg = *j.Config
+		useService = true
+		if j.CreditFraction != nil {
+			creditFraction = *j.CreditFraction
+		}
+		res.Strategy = cfg.Strategy.Label()
+	case sc.Strategy != nil:
+		cfg = core.Config{Strategy: *sc.Strategy, MonitorPeriod: defaultMonitorPeriod}
+		useService = true
+		res.Strategy = sc.Strategy.Label()
+	}
+
+	src, err := TraceSource(sc.TraceName)
+	if err != nil {
+		panic(err)
+	}
+	class, ok := bot.ClassByName(sc.BotClass)
+	if !ok {
+		panic("campaign: unknown bot class " + sc.BotClass)
+	}
+	if sc.Profile.BotScale > 0 && sc.Profile.BotScale != 1 {
+		class = class.Scaled(sc.Profile.BotScale)
+	}
+
+	eng := sim.NewEngine()
+	srv := newServer(eng, sc.Middleware)
+
+	tr := src.Generate(seed, horizon, sc.Profile.PoolCap)
+	middleware.BindTrace(eng, tr, srv)
+
+	botID := fmt.Sprintf("%s-%s-%s-%d", sc.Middleware, sc.TraceName, sc.BotClass, sc.Offset)
+	workload := class.Generate(botID, seed)
+	res.Size = workload.Size()
+
+	rec := &recorder{batchID: botID}
+	srv.AddListener(rec)
+
+	var svc *core.Service
+	if useService {
+		simCloud := cloud.NewSimCloud(eng, cloud.DefaultSimConfig(), sim.NewRNG(seed))
+		if cfg.CloudServerFactory == nil {
+			cfg.CloudServerFactory = func() middleware.Server {
+				return xwhep.New(eng, xwhep.DefaultConfig())
+			}
+		}
+		svc = core.NewService(eng, srv, simCloud, cfg)
+		if err := svc.RegisterQoS("user", botID, sc.EnvKey(), workload.Size()); err != nil {
+			panic(err)
+		}
+		credits := creditFraction * workload.WorkloadCPUHours() * svc.Credits.Rate()
+		if credits > 0 {
+			svc.Credits.Deposit("user", credits)
+			if err := svc.OrderQoS("user", botID, credits); err != nil {
+				panic(err)
+			}
+			res.CreditsAllocated = credits
+		}
+	}
+
+	srv.Submit(middleware.BatchFromBoT(workload))
+	eng.RunWhile(func() bool { return !srv.Done(botID) && eng.Now() <= horizon })
+
+	res.Events = eng.Executed()
+	res.Completed = srv.Done(botID)
+	entry := Entry{}
+	if res.Completed {
+		res.CompletionTime = eng.Now()
+		if tail, ok := metrics.ComputeTail(rec.completions); ok {
+			res.Tail = tail
+		}
+		if n := len(rec.completions); n >= 2 {
+			series := metrics.CompletionSeries(rec.completions)
+			half := series[(n+1)/2-1].T
+			if half > 0 {
+				res.TC50Base = half / 0.5
+			}
+		}
+		if j.KeepSeries {
+			entry.Series = metrics.CompletionSeries(rec.completions)
+		}
+	}
+	if svc != nil {
+		if u, err := svc.Usage(botID); err == nil {
+			res.CreditsBilled = u.CreditsBilled
+			res.CloudCPUSeconds = u.CPUSeconds
+			res.Instances = u.InstancesStarted
+			res.TriggeredAt = u.TriggeredAt
+		}
+	}
+	entry.Result = res
+	return entry
+}
+
+// CompletionCurve runs a scenario and returns its Fig 1 completion curve
+// alongside the run result.
+func CompletionCurve(sc Scenario) ([]metrics.SeriesPoint, Result) {
+	e := Execute(Job{Scenario: sc, KeepSeries: true})
+	return e.Series, e.Result
+}

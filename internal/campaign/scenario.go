@@ -1,0 +1,203 @@
+// Package campaign is the deterministic campaign engine behind the
+// experiment harness: it plans the full set of unique (scenario, strategy)
+// simulation jobs up front, deduplicating across consumers, executes each
+// job exactly once on a bounded worker pool with context cancellation and
+// streaming progress events, and stores results in a keyed, concurrency-safe
+// ResultStore with JSON save/load so campaigns can be persisted and resumed.
+// The figure/table builders of internal/experiments derive everything from
+// the store instead of running their own simulations.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+
+	"spequlos/internal/boinc"
+	"spequlos/internal/condor"
+	"spequlos/internal/core"
+	"spequlos/internal/metrics"
+	"spequlos/internal/middleware"
+	"spequlos/internal/sim"
+	"spequlos/internal/spot"
+	"spequlos/internal/trace"
+	"spequlos/internal/xwhep"
+)
+
+// Middleware names. CONDOR is the extension middleware (checkpoint +
+// migration); the paper's evaluation matrix uses BOINC and XWHEP.
+const (
+	BOINC  = "BOINC"
+	XWHEP  = "XWHEP"
+	CONDOR = "CONDOR"
+)
+
+// Middlewares lists the middleware of the paper's evaluation matrix.
+func Middlewares() []string { return []string{BOINC, XWHEP} }
+
+// AllMiddlewares includes the CONDOR extension.
+func AllMiddlewares() []string { return []string{BOINC, XWHEP, CONDOR} }
+
+// newServer builds a middleware server by name.
+func newServer(eng *sim.Engine, mw string) middleware.Server {
+	switch mw {
+	case BOINC:
+		return boinc.New(eng, boinc.DefaultConfig())
+	case XWHEP:
+		return xwhep.New(eng, xwhep.DefaultConfig())
+	case CONDOR:
+		return condor.New(eng, condor.DefaultConfig())
+	}
+	panic("campaign: unknown middleware " + mw)
+}
+
+// TraceNames lists the six BE-DCI traces of Table 2, in paper order.
+func TraceNames() []string {
+	return []string{"seti", "nd", "g5klyo", "g5kgre", "spot10", "spot100"}
+}
+
+// BotClasses lists the three workload classes of Table 3.
+func BotClasses() []string { return []string{"SMALL", "BIG", "RANDOM"} }
+
+// TraceSource resolves a Table 2 trace name to its generator.
+func TraceSource(name string) (trace.Source, error) {
+	if p, ok := trace.ProfileByName(name); ok {
+		return p, nil
+	}
+	if p, ok := spot.ProfileByName(name); ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("campaign: unknown trace %q", name)
+}
+
+// Profile scales the experiment matrix. The Full profile reproduces the
+// paper's dimensions; Quick powers `go test -bench` with minute-scale
+// runtimes; Standard is the EXPERIMENTS.md default.
+type Profile struct {
+	Name string
+	// BotScale multiplies BoT sizes (1 = paper sizes).
+	BotScale float64
+	// Offsets is the number of submission instants simulated per
+	// configuration (different seeds ⇒ different trace windows).
+	Offsets int
+	// PoolCap caps the number of nodes generated per trace (0 = the
+	// trace's natural pool). Duty cycles and per-node behaviour are
+	// preserved; see DESIGN.md §4 on scaling.
+	PoolCap int
+	// HorizonDays bounds one simulation; incomplete runs are retried with
+	// a doubled horizon.
+	HorizonDays float64
+	// CreditFraction of the BoT workload provisioned as cloud credits
+	// (the evaluation uses 10%).
+	CreditFraction float64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Quick returns the bench profile (small BoTs, small pools).
+func Quick() Profile {
+	return Profile{
+		Name: "quick", BotScale: 0.04, Offsets: 2, PoolCap: 250,
+		HorizonDays: 6, CreditFraction: 0.10,
+	}
+}
+
+// Standard returns the EXPERIMENTS.md profile.
+func Standard() Profile {
+	return Profile{
+		Name: "standard", BotScale: 0.15, Offsets: 3, PoolCap: 600,
+		HorizonDays: 10, CreditFraction: 0.10,
+	}
+}
+
+// Full returns the paper-scale profile.
+func Full() Profile {
+	return Profile{
+		Name: "full", BotScale: 1, Offsets: 5, PoolCap: 2000,
+		HorizonDays: 15, CreditFraction: 0.10,
+	}
+}
+
+// ProfileByName resolves quick/standard/full.
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "quick":
+		return Quick(), nil
+	case "standard":
+		return Standard(), nil
+	case "full":
+		return Full(), nil
+	}
+	return Profile{}, fmt.Errorf("campaign: unknown profile %q", name)
+}
+
+// Workers resolves the profile's parallelism bound.
+func (p Profile) Workers() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Scenario is one simulation to run.
+type Scenario struct {
+	Profile    Profile
+	Middleware string
+	TraceName  string
+	BotClass   string
+	Offset     int
+	// Strategy enables SpeQuloS with the given combination; nil runs the
+	// baseline.
+	Strategy *core.Strategy
+}
+
+// EnvKey identifies the execution environment (middleware, BE-DCI, BoT
+// class) — the α-calibration granularity of §3.4.
+func (sc Scenario) EnvKey() string {
+	return sc.Middleware + "/" + sc.TraceName + "/" + sc.BotClass
+}
+
+// Seed derives the deterministic seed shared by the baseline and every
+// SpeQuloS variant of the same scenario (paired comparison).
+func (sc Scenario) Seed() uint64 {
+	return sim.SeedFrom(sc.Profile.Name, sc.Middleware, sc.TraceName, sc.BotClass,
+		fmt.Sprintf("offset-%d", sc.Offset))
+}
+
+// StrategyLabel returns the strategy label of the scenario, "" for a
+// baseline.
+func (sc Scenario) StrategyLabel() string {
+	if sc.Strategy == nil {
+		return ""
+	}
+	return sc.Strategy.Label()
+}
+
+// Result captures one run's outcome and metrics.
+type Result struct {
+	Middleware string
+	TraceName  string
+	BotClass   string
+	Offset     int
+	Strategy   string // "" for baseline
+	Seed       uint64
+
+	Completed      bool
+	Size           int
+	CompletionTime float64
+	Tail           metrics.TailStats
+	// TC50Base is tc(0.5)/0.5, the constant-rate estimate at half
+	// completion used by the Oracle's prediction (Table 4).
+	TC50Base float64
+
+	// Cloud usage (zero for baselines).
+	CreditsAllocated float64
+	CreditsBilled    float64
+	CloudCPUSeconds  float64
+	Instances        int
+	TriggeredAt      float64
+
+	Events uint64 // simulation events executed (for benchmarking)
+}
+
+// EnvKey mirrors Scenario.EnvKey.
+func (r Result) EnvKey() string { return r.Middleware + "/" + r.TraceName + "/" + r.BotClass }

@@ -1,21 +1,19 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"spequlos/internal/bot"
-	"spequlos/internal/cloud"
+	"spequlos/internal/campaign"
 	"spequlos/internal/core"
 	"spequlos/internal/metrics"
-	"spequlos/internal/middleware"
-	"spequlos/internal/sim"
-	"spequlos/internal/xwhep"
 )
 
 // This file holds ablation studies of the design choices DESIGN.md calls
 // out: the 10%-of-workload credit provisioning (§4.1.3), the one-minute
 // monitoring period (§3.2), and the §7 future-work capacity-aware trigger
-// versus the plain completion threshold.
+// versus the plain completion threshold. Each sweep plans variant jobs into
+// the campaign engine; the baseline runs are shared with the matrix.
 
 // AblationPoint is one setting's aggregate outcome over a mini-matrix.
 type AblationPoint struct {
@@ -26,84 +24,18 @@ type AblationPoint struct {
 	Runs         int
 }
 
-// runAblationCell runs one paired scenario with a custom service
-// configuration and returns (speedup, TRE, spentFraction, ok).
-func runAblationCell(sc Scenario, cfg core.Config, creditFraction float64) (float64, float64, float64, bool) {
-	base := Run(sc)
-	if !base.Completed {
-		return 0, 0, 0, false
-	}
-	speq := runWithConfig(sc, cfg, creditFraction)
-	if !speq.Completed || speq.CompletionTime <= 0 {
-		return 0, 0, 0, false
-	}
-	tre, _ := metrics.TailRemovalEfficiency(speq.CompletionTime, base.CompletionTime, base.Tail.IdealTime)
-	spent := 0.0
-	if speq.CreditsAllocated > 0 {
-		spent = speq.CreditsBilled / speq.CreditsAllocated
-	}
-	return base.CompletionTime / speq.CompletionTime, tre, spent, true
+// ablationSetting is one knob position: a service configuration and credit
+// fraction, labelled by the variant string that keys its jobs.
+type ablationSetting struct {
+	Setting        string
+	Config         core.Config
+	CreditFraction float64
 }
 
-// runWithConfig is Run with full control of the service configuration —
-// the knob the ablations turn.
-func runWithConfig(sc Scenario, cfg core.Config, creditFraction float64) Result {
-	horizon := sc.Profile.HorizonDays * 86400
-	seed := sc.Seed()
-	res := Result{
-		Middleware: sc.Middleware, TraceName: sc.TraceName, BotClass: sc.BotClass,
-		Offset: sc.Offset, Seed: seed, Strategy: cfg.Strategy.Label(),
-	}
-	src, err := TraceSource(sc.TraceName)
-	if err != nil {
-		panic(err)
-	}
-	class, _ := bot.ClassByName(sc.BotClass)
-	if sc.Profile.BotScale > 0 && sc.Profile.BotScale != 1 {
-		class = class.Scaled(sc.Profile.BotScale)
-	}
-	eng := sim.NewEngine()
-	srv := newServer(eng, sc.Middleware)
-	tr := src.Generate(seed, horizon, sc.Profile.PoolCap)
-	middleware.BindTrace(eng, tr, srv)
-	botID := "ablation"
-	workload := class.Generate(botID, seed)
-	res.Size = workload.Size()
-	rec := &recorder{batchID: botID}
-	srv.AddListener(rec)
-
-	simCloud := cloud.NewSimCloud(eng, cloud.DefaultSimConfig(), sim.NewRNG(seed))
-	if cfg.CloudServerFactory == nil {
-		cfg.CloudServerFactory = func() middleware.Server { return xwhep.New(eng, xwhep.DefaultConfig()) }
-	}
-	svc := core.NewService(eng, srv, simCloud, cfg)
-	if err := svc.RegisterQoS("user", botID, sc.EnvKey(), workload.Size()); err != nil {
-		panic(err)
-	}
-	credits := creditFraction * workload.WorkloadCPUHours() * svc.Credits.Rate()
-	if credits > 0 {
-		svc.Credits.Deposit("user", credits)
-		if err := svc.OrderQoS("user", botID, credits); err != nil {
-			panic(err)
-		}
-		res.CreditsAllocated = credits
-	}
-	srv.Submit(middleware.BatchFromBoT(workload))
-	eng.RunWhile(func() bool { return !srv.Done(botID) && eng.Now() <= horizon })
-	res.Completed = srv.Done(botID)
-	if res.Completed {
-		res.CompletionTime = eng.Now()
-		if tail, ok := metrics.ComputeTail(rec.completions); ok {
-			res.Tail = tail
-		}
-	}
-	if u, err := svc.Usage(botID); err == nil {
-		res.CreditsBilled = u.CreditsBilled
-		res.CloudCPUSeconds = u.CPUSeconds
-		res.Instances = u.InstancesStarted
-		res.TriggeredAt = u.TriggeredAt
-	}
-	return res
+func (s ablationSetting) job(sc Scenario) campaign.Job {
+	cfg := s.Config
+	frac := s.CreditFraction
+	return campaign.Job{Scenario: sc, Variant: s.Setting, Config: &cfg, CreditFraction: &frac}
 }
 
 // ablationScenarios is the mini-matrix the sweeps run over: the volatile
@@ -122,73 +54,148 @@ func ablationScenarios(p Profile) []Scenario {
 	return out
 }
 
-func aggregate(setting string, scs []Scenario, cfg core.Config, frac float64) AblationPoint {
-	pt := AblationPoint{Setting: setting}
-	var su, tre, spent float64
-	for _, sc := range scs {
-		s, t, sp, ok := runAblationCell(sc, cfg, frac)
-		if !ok {
-			continue
+// ablationJobs plans the baselines of the mini-matrix plus one variant job
+// per (scenario, setting).
+func ablationJobs(p Profile, settings []ablationSetting) []campaign.Job {
+	var jobs []campaign.Job
+	for _, sc := range ablationScenarios(p) {
+		jobs = append(jobs, campaign.Job{Scenario: sc})
+		for _, s := range settings {
+			jobs = append(jobs, s.job(sc))
 		}
-		su += s
-		tre += t
-		spent += sp
-		pt.Runs++
 	}
-	if pt.Runs > 0 {
-		pt.MeanSpeedup = su / float64(pt.Runs)
-		pt.MeanTRE = tre / float64(pt.Runs)
-		pt.MeanSpentPct = spent / float64(pt.Runs)
+	return jobs
+}
+
+// ablationFrom aggregates one sweep from an already-executed store.
+func ablationFrom(store *campaign.ResultStore, p Profile, settings []ablationSetting) ([]AblationPoint, error) {
+	scs := ablationScenarios(p)
+	var out []AblationPoint
+	for _, s := range settings {
+		pt := AblationPoint{Setting: s.Setting}
+		var su, tre, spent float64
+		for _, sc := range scs {
+			base, ok := store.Result(campaign.Job{Scenario: sc})
+			if !ok {
+				return nil, fmt.Errorf("experiments: store missing ablation baseline %s", campaign.Job{Scenario: sc}.Key())
+			}
+			speq, ok := store.Result(s.job(sc))
+			if !ok {
+				return nil, fmt.Errorf("experiments: store missing ablation variant %s", s.job(sc).Key())
+			}
+			if !base.Completed || !speq.Completed || speq.CompletionTime <= 0 {
+				continue
+			}
+			t, _ := metrics.TailRemovalEfficiency(speq.CompletionTime, base.CompletionTime, base.Tail.IdealTime)
+			sp := 0.0
+			if speq.CreditsAllocated > 0 {
+				sp = speq.CreditsBilled / speq.CreditsAllocated
+			}
+			su += base.CompletionTime / speq.CompletionTime
+			tre += t
+			spent += sp
+			pt.Runs++
+		}
+		if pt.Runs > 0 {
+			pt.MeanSpeedup = su / float64(pt.Runs)
+			pt.MeanTRE = tre / float64(pt.Runs)
+			pt.MeanSpentPct = spent / float64(pt.Runs)
+		}
+		out = append(out, pt)
 	}
-	return pt
+	return out, nil
+}
+
+// runSweep executes one sweep's jobs through a fresh campaign and derives
+// the points.
+func runSweep(p Profile, settings []ablationSetting) []AblationPoint {
+	store, _, _ := campaign.RunCampaign(context.Background(), p, ablationJobs(p, settings))
+	pts, err := ablationFrom(store, p, settings)
+	if err != nil {
+		panic(err) // unreachable: the campaign just ran every planned job
+	}
+	return pts
+}
+
+func creditSettings(fractions []float64) []ablationSetting {
+	if len(fractions) == 0 {
+		fractions = []float64{0.02, 0.05, 0.10, 0.20}
+	}
+	var out []ablationSetting
+	for _, f := range fractions {
+		out = append(out, ablationSetting{
+			Setting:        fmt.Sprintf("credits=%.0f%%", f*100),
+			Config:         core.Config{Strategy: core.DefaultStrategy(), MonitorPeriod: 60},
+			CreditFraction: f,
+		})
+	}
+	return out
+}
+
+func periodSettings(p Profile, periods []float64) []ablationSetting {
+	if len(periods) == 0 {
+		periods = []float64{30, 60, 300, 900}
+	}
+	var out []ablationSetting
+	for _, period := range periods {
+		out = append(out, ablationSetting{
+			Setting:        fmt.Sprintf("period=%.0fs", period),
+			Config:         core.Config{Strategy: core.DefaultStrategy(), MonitorPeriod: period},
+			CreditFraction: p.CreditFraction,
+		})
+	}
+	return out
+}
+
+func triggerSettings(p Profile) []ablationSetting {
+	var out []ablationSetting
+	for _, tr := range []core.Trigger{
+		core.CompletionThreshold{Frac: 0.9},
+		core.DefaultCapacityAware(),
+	} {
+		out = append(out, ablationSetting{
+			Setting: "trigger=" + tr.Code(),
+			Config: core.Config{
+				Strategy:      core.Strategy{Trigger: tr, Sizing: core.Conservative{}, Deploy: core.Reschedule},
+				MonitorPeriod: 60,
+			},
+			CreditFraction: p.CreditFraction,
+		})
+	}
+	return out
 }
 
 // CreditFractionSweep varies the provisioned credits (the paper fixes them
 // at 10% of the BoT workload) and reports the QoS/cost trade-off.
 func CreditFractionSweep(p Profile, fractions []float64) []AblationPoint {
-	if len(fractions) == 0 {
-		fractions = []float64{0.02, 0.05, 0.10, 0.20}
-	}
-	scs := ablationScenarios(p)
-	var out []AblationPoint
-	for _, f := range fractions {
-		cfg := core.Config{Strategy: core.DefaultStrategy(), MonitorPeriod: 60}
-		out = append(out, aggregate(fmt.Sprintf("credits=%.0f%%", f*100), scs, cfg, f))
-	}
-	return out
+	return runSweep(p, creditSettings(fractions))
+}
+
+// CreditFractionSweepFrom derives the sweep from an already-executed store.
+func CreditFractionSweepFrom(store *campaign.ResultStore, p Profile, fractions []float64) ([]AblationPoint, error) {
+	return ablationFrom(store, p, creditSettings(fractions))
 }
 
 // MonitorPeriodSweep varies the Information/Scheduler loop period (the
 // paper monitors per minute; slower monitoring delays tail detection).
 func MonitorPeriodSweep(p Profile, periods []float64) []AblationPoint {
-	if len(periods) == 0 {
-		periods = []float64{30, 60, 300, 900}
-	}
-	scs := ablationScenarios(p)
-	var out []AblationPoint
-	for _, period := range periods {
-		cfg := core.Config{Strategy: core.DefaultStrategy(), MonitorPeriod: period}
-		out = append(out, aggregate(fmt.Sprintf("period=%.0fs", period), scs, cfg, p.CreditFraction))
-	}
-	return out
+	return runSweep(p, periodSettings(p, periods))
+}
+
+// MonitorPeriodSweepFrom derives the sweep from an already-executed store.
+func MonitorPeriodSweepFrom(store *campaign.ResultStore, p Profile, periods []float64) ([]AblationPoint, error) {
+	return ablationFrom(store, p, periodSettings(p, periods))
 }
 
 // TriggerAblation compares the plain completion threshold against the
 // capacity-aware anticipation trigger (§7 future work).
 func TriggerAblation(p Profile) []AblationPoint {
-	scs := ablationScenarios(p)
-	var out []AblationPoint
-	for _, tr := range []core.Trigger{
-		core.CompletionThreshold{Frac: 0.9},
-		core.DefaultCapacityAware(),
-	} {
-		cfg := core.Config{
-			Strategy:      core.Strategy{Trigger: tr, Sizing: core.Conservative{}, Deploy: core.Reschedule},
-			MonitorPeriod: 60,
-		}
-		out = append(out, aggregate("trigger="+tr.Code(), scs, cfg, p.CreditFraction))
-	}
-	return out
+	return runSweep(p, triggerSettings(p))
+}
+
+// TriggerAblationFrom derives the ablation from an already-executed store.
+func TriggerAblationFrom(store *campaign.ResultStore, p Profile) ([]AblationPoint, error) {
+	return ablationFrom(store, p, triggerSettings(p))
 }
 
 // RenderAblation prints ablation points as a table.
@@ -216,26 +223,65 @@ type MiddlewareComparisonRow struct {
 	Runs           int
 }
 
-// CompareMiddleware runs baseline executions of one workload class across
-// the three middleware on the given traces.
-func CompareMiddleware(p Profile, traces []string, botClass string) []MiddlewareComparisonRow {
+// comparisonScenarios enumerates the baseline cells of the comparison.
+func comparisonScenarios(p Profile, traces []string, botClass string) []Scenario {
 	if len(traces) == 0 {
 		traces = []string{"seti", "g5klyo"}
 	}
+	var out []Scenario
+	for _, mw := range AllMiddlewares() {
+		for _, tn := range traces {
+			for off := 0; off < p.Offsets; off++ {
+				out = append(out, Scenario{
+					Profile: p, Middleware: mw, TraceName: tn, BotClass: botClass, Offset: off,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ComparisonJobs plans the baseline jobs of the middleware comparison.
+func ComparisonJobs(p Profile, traces []string, botClass string) []campaign.Job {
+	var jobs []campaign.Job
+	for _, sc := range comparisonScenarios(p, traces, botClass) {
+		jobs = append(jobs, campaign.Job{Scenario: sc})
+	}
+	return jobs
+}
+
+// CompareMiddleware runs baseline executions of one workload class across
+// the three middleware on the given traces.
+func CompareMiddleware(p Profile, traces []string, botClass string) []MiddlewareComparisonRow {
+	store, _, _ := campaign.RunCampaign(context.Background(), p, ComparisonJobs(p, traces, botClass))
+	rows, err := CompareMiddlewareFrom(store, p, traces, botClass)
+	if err != nil {
+		panic(err) // unreachable: the campaign just ran every planned job
+	}
+	return rows
+}
+
+// CompareMiddlewareFrom derives the comparison from an already-executed
+// store.
+func CompareMiddlewareFrom(store *campaign.ResultStore, p Profile, traces []string, botClass string) ([]MiddlewareComparisonRow, error) {
 	var out []MiddlewareComparisonRow
 	for _, mw := range AllMiddlewares() {
 		row := MiddlewareComparisonRow{Middleware: mw}
 		var comp, slow float64
-		for _, tn := range traces {
-			for off := 0; off < p.Offsets; off++ {
-				res := Run(Scenario{Profile: p, Middleware: mw, TraceName: tn, BotClass: botClass, Offset: off})
-				if !res.Completed {
-					continue
-				}
-				comp += res.CompletionTime
-				slow += res.Tail.Slowdown
-				row.Runs++
+		for _, sc := range comparisonScenarios(p, traces, botClass) {
+			if sc.Middleware != mw {
+				continue
 			}
+			res, ok := store.Result(campaign.Job{Scenario: sc})
+			if !ok {
+				return nil, fmt.Errorf("experiments: store missing comparison cell %s", campaign.Job{Scenario: sc}.Key())
+			}
+			if !res.Completed {
+				continue
+			}
+			comp += res.CompletionTime
+			slow += res.Tail.Slowdown
+			row.Runs++
 		}
 		if row.Runs > 0 {
 			row.MeanCompletion = comp / float64(row.Runs)
@@ -243,7 +289,7 @@ func CompareMiddleware(p Profile, traces []string, botClass string) []Middleware
 		}
 		out = append(out, row)
 	}
-	return out
+	return out, nil
 }
 
 // RenderMiddlewareComparison prints the comparison table.

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"spequlos/internal/campaign"
+	"spequlos/internal/core"
+)
+
+// ArtifactOptions scopes one full regeneration of the paper's evaluation.
+type ArtifactOptions struct {
+	// Spec restricts the matrix; its Strategies drive Figs 4/5. The default
+	// strategy (9C-C-R) is always planned — Figs 6/7 and Table 4 need it.
+	Spec MatrixSpec
+	// Ablations adds the credit-fraction, monitor-period and trigger sweeps.
+	Ablations bool
+	// Comparison adds the three-middleware baseline comparison.
+	Comparison bool
+	// ComparisonTraces and ComparisonBot scope the comparison (defaults:
+	// seti+g5klyo, BIG).
+	ComparisonTraces []string
+	ComparisonBot    string
+	// Table2Days/Table2Seed parameterize the trace-statistics validation.
+	Table2Days float64
+	Table2Seed uint64
+	// Table5Days/Table5BoTs/Table5Seed parameterize the EDGI deployment
+	// simulation.
+	Table5Days float64
+	Table5BoTs int
+	Table5Seed uint64
+	// Store, when non-nil, is reused across runs: entries already present
+	// are not re-simulated (resume).
+	Store *campaign.ResultStore
+	// Parallelism bounds concurrent simulations (0 = profile default).
+	Parallelism int
+	// Progress receives streaming per-job events.
+	Progress func(campaign.Event)
+}
+
+func (o ArtifactOptions) withDefaults() ArtifactOptions {
+	hasDefault := false
+	defaultLabel := core.DefaultStrategy().Label()
+	for _, st := range o.Spec.Strategies {
+		if st.Label() == defaultLabel {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		o.Spec.Strategies = append(o.Spec.Strategies, core.DefaultStrategy())
+	}
+	if o.ComparisonBot == "" {
+		o.ComparisonBot = "BIG"
+	}
+	if o.Table2Days == 0 {
+		o.Table2Days = 7
+	}
+	if o.Table2Seed == 0 {
+		o.Table2Seed = 20260611
+	}
+	if o.Table5Days == 0 {
+		o.Table5Days = 4
+	}
+	if o.Table5BoTs == 0 {
+		o.Table5BoTs = 12
+	}
+	if o.Table5Seed == 0 {
+		o.Table5Seed = 20260611
+	}
+	return o
+}
+
+// Artifacts is every figure and table of the evaluation, derived from one
+// campaign.
+type Artifacts struct {
+	Profile Profile
+	Matrix  Matrix
+
+	Figure1 Figure1
+	Figure2 Figure2
+	Table1  Table1
+	Table2  []Table2Row
+	Figure4 Figure4
+	Figure5 Figure5
+	Figure6 Figure6
+	Figure7 Figure7
+	Table4  Table4
+	Table5  Table5
+
+	// Ablation sweeps (when ArtifactOptions.Ablations).
+	CreditSweep  []AblationPoint
+	PeriodSweep  []AblationPoint
+	TriggerSweep []AblationPoint
+	// Comparison rows (when ArtifactOptions.Comparison).
+	Comparison []MiddlewareComparisonRow
+
+	// Timings records per-artifact derivation wall-clock for BENCH reports.
+	Timings []ArtifactTiming
+}
+
+// ArtifactTiming is one artifact's derivation wall-clock.
+type ArtifactTiming struct {
+	Name    string        `json:"name"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// DefaultStrategyLabel is the strategy Figs 6/7 and Table 4 report on.
+func (a Artifacts) DefaultStrategyLabel() string { return core.DefaultStrategy().Label() }
+
+// PlanArtifacts plans every simulation job the artifact set needs: the full
+// matrix (baselines + strategies), the Fig 1 curve, and optionally the
+// ablation variants and the middleware comparison. Overlapping consumers —
+// Fig 1's cell is a matrix baseline, ablation baselines are matrix cells —
+// dedupe to a single execution via the job key.
+func PlanArtifacts(p Profile, opts ArtifactOptions) *campaign.Plan {
+	opts = opts.withDefaults()
+	plan := campaign.NewPlan()
+	plan.Add(opts.Spec.Jobs(p)...)
+	plan.Add(Figure1Job(p))
+	if opts.Ablations {
+		plan.Add(ablationJobs(p, creditSettings(nil))...)
+		plan.Add(ablationJobs(p, periodSettings(p, nil))...)
+		plan.Add(ablationJobs(p, triggerSettings(p))...)
+	}
+	if opts.Comparison {
+		plan.Add(ComparisonJobs(p, opts.ComparisonTraces, opts.ComparisonBot)...)
+	}
+	return plan
+}
+
+// DeriveArtifacts builds every figure and table from an already-executed
+// store. It runs no scenario simulations: Tables 2 and 5 (the trace
+// generator validation and the EDGI deployment) are independent
+// simulations and execute here.
+func DeriveArtifacts(store *campaign.ResultStore, p Profile, opts ArtifactOptions) (Artifacts, error) {
+	opts = opts.withDefaults()
+	a := Artifacts{Profile: p}
+	timed := func(name string, build func() error) error {
+		start := time.Now()
+		if err := build(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		a.Timings = append(a.Timings, ArtifactTiming{Name: name, Elapsed: time.Since(start)})
+		return nil
+	}
+
+	if err := timed("matrix", func() (err error) {
+		a.Matrix, err = MatrixFrom(store, p, opts.Spec)
+		return
+	}); err != nil {
+		return a, err
+	}
+	defaultLabel := a.DefaultStrategyLabel()
+	type step struct {
+		name  string
+		build func() error
+	}
+	steps := []step{
+		{"figure1", func() (err error) { a.Figure1, err = Figure1From(store, p); return }},
+		{"figure2", func() error { a.Figure2 = BuildFigure2(a.Matrix.BaseResults()); return nil }},
+		{"table1", func() error { a.Table1 = BuildTable1(a.Matrix.BaseResults()); return nil }},
+		{"table2", func() error { a.Table2 = BuildTable2(opts.Table2Days, opts.Table2Seed); return nil }},
+		{"figure4", func() error { a.Figure4 = BuildFigure4(a.Matrix); return nil }},
+		{"figure5", func() error { a.Figure5 = BuildFigure5(a.Matrix); return nil }},
+		{"figure6", func() error { a.Figure6 = BuildFigure6(a.Matrix, defaultLabel); return nil }},
+		{"figure7", func() error { a.Figure7 = BuildFigure7(a.Matrix, defaultLabel); return nil }},
+		{"table4", func() error { a.Table4 = BuildTable4(a.Matrix, defaultLabel); return nil }},
+		{"table5", func() error {
+			a.Table5 = BuildTable5(opts.Table5Days, opts.Table5BoTs, opts.Table5Seed)
+			return nil
+		}},
+	}
+	if opts.Ablations {
+		steps = append(steps,
+			step{"ablation-credits", func() (err error) {
+				a.CreditSweep, err = CreditFractionSweepFrom(store, p, nil)
+				return
+			}},
+			step{"ablation-period", func() (err error) {
+				a.PeriodSweep, err = MonitorPeriodSweepFrom(store, p, nil)
+				return
+			}},
+			step{"ablation-trigger", func() (err error) {
+				a.TriggerSweep, err = TriggerAblationFrom(store, p)
+				return
+			}},
+		)
+	}
+	if opts.Comparison {
+		steps = append(steps, step{"comparison", func() (err error) {
+			a.Comparison, err = CompareMiddlewareFrom(store, p, opts.ComparisonTraces, opts.ComparisonBot)
+			return
+		}})
+	}
+	for _, s := range steps {
+		if err := timed(s.name, s.build); err != nil {
+			return a, err
+		}
+	}
+	return a, nil
+}
+
+// BuildArtifacts is the one-campaign pipeline: plan every job, execute each
+// unique one exactly once, derive every artifact from the shared store.
+func BuildArtifacts(ctx context.Context, p Profile, opts ArtifactOptions) (Artifacts, campaign.Stats, error) {
+	opts = opts.withDefaults()
+	store := opts.Store
+	if store == nil {
+		store = campaign.NewResultStore()
+	}
+	c := &campaign.Campaign{
+		Profile:     p,
+		Plan:        PlanArtifacts(p, opts),
+		Parallelism: opts.Parallelism,
+		Progress:    opts.Progress,
+	}
+	stats, err := c.Run(ctx, store)
+	if err != nil {
+		return Artifacts{}, stats, err
+	}
+	a, err := DeriveArtifacts(store, p, opts)
+	return a, stats, err
+}

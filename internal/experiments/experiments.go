@@ -1,343 +1,73 @@
 // Package experiments is the harness that regenerates every table and
-// figure of the paper's evaluation (§4): it builds scenarios over the
+// figure of the paper's evaluation (§4): it plans scenarios over the
 // matrix {BOINC, XWHEP} × {seti, nd, g5klyo, g5kgre, spot10, spot100} ×
 // {SMALL, BIG, RANDOM} × submission offsets × strategy combinations, runs
 // them with paired seeds (the same seed drives the identical base execution
 // with and without SpeQuloS, as in §4.1.3), and derives the paper's
 // metrics.
+//
+// Simulations execute through internal/campaign: every builder plans its
+// jobs into a campaign, the campaign engine runs each unique (scenario,
+// strategy) job exactly once, and the figures/tables derive from the shared
+// ResultStore. PlanArtifacts/DeriveArtifacts regenerate the whole
+// evaluation from one campaign; see EXPERIMENTS.md.
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-
-	"spequlos/internal/boinc"
-	"spequlos/internal/bot"
-	"spequlos/internal/cloud"
-	"spequlos/internal/condor"
-	"spequlos/internal/core"
+	"spequlos/internal/campaign"
 	"spequlos/internal/metrics"
-	"spequlos/internal/middleware"
-	"spequlos/internal/sim"
-	"spequlos/internal/spot"
 	"spequlos/internal/trace"
-	"spequlos/internal/xwhep"
 )
 
 // Middleware names. CONDOR is the extension middleware (checkpoint +
 // migration); the paper's evaluation matrix uses BOINC and XWHEP.
 const (
-	BOINC  = "BOINC"
-	XWHEP  = "XWHEP"
-	CONDOR = "CONDOR"
+	BOINC  = campaign.BOINC
+	XWHEP  = campaign.XWHEP
+	CONDOR = campaign.CONDOR
 )
 
 // Middlewares lists the middleware of the paper's evaluation matrix.
-func Middlewares() []string { return []string{BOINC, XWHEP} }
+func Middlewares() []string { return campaign.Middlewares() }
 
 // AllMiddlewares includes the CONDOR extension.
-func AllMiddlewares() []string { return []string{BOINC, XWHEP, CONDOR} }
-
-// newServer builds a middleware server by name.
-func newServer(eng *sim.Engine, mw string) middleware.Server {
-	switch mw {
-	case BOINC:
-		return boinc.New(eng, boinc.DefaultConfig())
-	case XWHEP:
-		return xwhep.New(eng, xwhep.DefaultConfig())
-	case CONDOR:
-		return condor.New(eng, condor.DefaultConfig())
-	}
-	panic("experiments: unknown middleware " + mw)
-}
+func AllMiddlewares() []string { return campaign.AllMiddlewares() }
 
 // TraceNames lists the six BE-DCI traces of Table 2, in paper order.
-func TraceNames() []string {
-	return []string{"seti", "nd", "g5klyo", "g5kgre", "spot10", "spot100"}
-}
+func TraceNames() []string { return campaign.TraceNames() }
 
 // BotClasses lists the three workload classes of Table 3.
-func BotClasses() []string { return []string{"SMALL", "BIG", "RANDOM"} }
+func BotClasses() []string { return campaign.BotClasses() }
 
 // TraceSource resolves a Table 2 trace name to its generator.
-func TraceSource(name string) (trace.Source, error) {
-	if p, ok := trace.ProfileByName(name); ok {
-		return p, nil
-	}
-	if p, ok := spot.ProfileByName(name); ok {
-		return p, nil
-	}
-	return nil, fmt.Errorf("experiments: unknown trace %q", name)
-}
+func TraceSource(name string) (trace.Source, error) { return campaign.TraceSource(name) }
 
-// Profile scales the experiment matrix. The Full profile reproduces the
-// paper's dimensions; Quick powers `go test -bench` with minute-scale
-// runtimes; Standard is the EXPERIMENTS.md default.
-type Profile struct {
-	Name string
-	// BotScale multiplies BoT sizes (1 = paper sizes).
-	BotScale float64
-	// Offsets is the number of submission instants simulated per
-	// configuration (different seeds ⇒ different trace windows).
-	Offsets int
-	// PoolCap caps the number of nodes generated per trace (0 = the
-	// trace's natural pool). Duty cycles and per-node behaviour are
-	// preserved; see DESIGN.md §4 on scaling.
-	PoolCap int
-	// HorizonDays bounds one simulation; incomplete runs are retried with
-	// a doubled horizon.
-	HorizonDays float64
-	// CreditFraction of the BoT workload provisioned as cloud credits
-	// (the evaluation uses 10%).
-	CreditFraction float64
-	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
-	Parallelism int
-}
+// Profile scales the experiment matrix; see campaign.Profile.
+type Profile = campaign.Profile
 
 // Quick returns the bench profile (small BoTs, small pools).
-func Quick() Profile {
-	return Profile{
-		Name: "quick", BotScale: 0.04, Offsets: 2, PoolCap: 250,
-		HorizonDays: 6, CreditFraction: 0.10,
-	}
-}
+func Quick() Profile { return campaign.Quick() }
 
 // Standard returns the EXPERIMENTS.md profile.
-func Standard() Profile {
-	return Profile{
-		Name: "standard", BotScale: 0.15, Offsets: 3, PoolCap: 600,
-		HorizonDays: 10, CreditFraction: 0.10,
-	}
-}
+func Standard() Profile { return campaign.Standard() }
 
 // Full returns the paper-scale profile.
-func Full() Profile {
-	return Profile{
-		Name: "full", BotScale: 1, Offsets: 5, PoolCap: 2000,
-		HorizonDays: 15, CreditFraction: 0.10,
-	}
-}
+func Full() Profile { return campaign.Full() }
 
 // ProfileByName resolves quick/standard/full.
-func ProfileByName(name string) (Profile, error) {
-	switch name {
-	case "quick":
-		return Quick(), nil
-	case "standard":
-		return Standard(), nil
-	case "full":
-		return Full(), nil
-	}
-	return Profile{}, fmt.Errorf("experiments: unknown profile %q", name)
-}
-
-func (p Profile) workers() int {
-	if p.Parallelism > 0 {
-		return p.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
+func ProfileByName(name string) (Profile, error) { return campaign.ProfileByName(name) }
 
 // Scenario is one simulation to run.
-type Scenario struct {
-	Profile    Profile
-	Middleware string
-	TraceName  string
-	BotClass   string
-	Offset     int
-	// Strategy enables SpeQuloS with the given combination; nil runs the
-	// baseline.
-	Strategy *core.Strategy
-}
-
-// EnvKey identifies the execution environment (middleware, BE-DCI, BoT
-// class) — the α-calibration granularity of §3.4.
-func (sc Scenario) EnvKey() string {
-	return sc.Middleware + "/" + sc.TraceName + "/" + sc.BotClass
-}
-
-// Seed derives the deterministic seed shared by the baseline and every
-// SpeQuloS variant of the same scenario (paired comparison).
-func (sc Scenario) Seed() uint64 {
-	return sim.SeedFrom(sc.Profile.Name, sc.Middleware, sc.TraceName, sc.BotClass,
-		fmt.Sprintf("offset-%d", sc.Offset))
-}
+type Scenario = campaign.Scenario
 
 // Result captures one run's outcome and metrics.
-type Result struct {
-	Middleware string
-	TraceName  string
-	BotClass   string
-	Offset     int
-	Strategy   string // "" for baseline
-	Seed       uint64
+type Result = campaign.Result
 
-	Completed      bool
-	Size           int
-	CompletionTime float64
-	Tail           metrics.TailStats
-	// TC50Base is tc(0.5)/0.5, the constant-rate estimate at half
-	// completion used by the Oracle's prediction (Table 4).
-	TC50Base float64
+// Run executes a scenario through the campaign runner, retrying with a
+// doubled horizon if the trace window proved too short to finish the BoT.
+func Run(sc Scenario) Result { return campaign.Run(sc) }
 
-	// Cloud usage (zero for baselines).
-	CreditsAllocated float64
-	CreditsBilled    float64
-	CloudCPUSeconds  float64
-	Instances        int
-	TriggeredAt      float64
-
-	Events uint64 // simulation events executed (for benchmarking)
-}
-
-// EnvKey mirrors Scenario.EnvKey.
-func (r Result) EnvKey() string { return r.Middleware + "/" + r.TraceName + "/" + r.BotClass }
-
-// recorder captures exact per-task completion times.
-type recorder struct {
-	batchID     string
-	completions []float64
-}
-
-func (r *recorder) TaskAssigned(string, int, float64) {}
-func (r *recorder) TaskCompleted(batchID string, _ int, at float64) {
-	if batchID == r.batchID {
-		r.completions = append(r.completions, at)
-	}
-}
-func (r *recorder) BatchCompleted(string, float64) {}
-
-// Run executes a scenario, retrying with a doubled horizon if the trace
-// window proved too short to finish the BoT.
-func Run(sc Scenario) Result {
-	horizon := sc.Profile.HorizonDays * 86400
-	var res Result
-	for attempt := 0; attempt < 3; attempt++ {
-		res = runOnce(sc, horizon)
-		if res.Completed {
-			return res
-		}
-		horizon *= 2
-	}
-	return res
-}
-
-func runOnce(sc Scenario, horizon float64) Result {
-	seed := sc.Seed()
-	res := Result{
-		Middleware: sc.Middleware, TraceName: sc.TraceName, BotClass: sc.BotClass,
-		Offset: sc.Offset, Seed: seed,
-	}
-	if sc.Strategy != nil {
-		res.Strategy = sc.Strategy.Label()
-	}
-
-	src, err := TraceSource(sc.TraceName)
-	if err != nil {
-		panic(err)
-	}
-	class, ok := bot.ClassByName(sc.BotClass)
-	if !ok {
-		panic("experiments: unknown bot class " + sc.BotClass)
-	}
-	if sc.Profile.BotScale > 0 && sc.Profile.BotScale != 1 {
-		class = class.Scaled(sc.Profile.BotScale)
-	}
-
-	eng := sim.NewEngine()
-	srv := newServer(eng, sc.Middleware)
-
-	tr := src.Generate(seed, horizon, sc.Profile.PoolCap)
-	middleware.BindTrace(eng, tr, srv)
-
-	botID := fmt.Sprintf("%s-%s-%s-%d", sc.Middleware, sc.TraceName, sc.BotClass, sc.Offset)
-	workload := class.Generate(botID, seed)
-	res.Size = workload.Size()
-
-	rec := &recorder{batchID: botID}
-	srv.AddListener(rec)
-
-	var svc *core.Service
-	if sc.Strategy != nil {
-		simCloud := cloud.NewSimCloud(eng, cloud.DefaultSimConfig(), sim.NewRNG(seed))
-		cfg := core.Config{
-			Strategy:      *sc.Strategy,
-			MonitorPeriod: 60,
-			CloudServerFactory: func() middleware.Server {
-				return xwhep.New(eng, xwhep.DefaultConfig())
-			},
-		}
-		svc = core.NewService(eng, srv, simCloud, cfg)
-		if err := svc.RegisterQoS("user", botID, sc.EnvKey(), workload.Size()); err != nil {
-			panic(err)
-		}
-		credits := sc.Profile.CreditFraction * workload.WorkloadCPUHours() * svc.Credits.Rate()
-		svc.Credits.Deposit("user", credits)
-		if err := svc.OrderQoS("user", botID, credits); err != nil {
-			panic(err)
-		}
-		res.CreditsAllocated = credits
-	}
-
-	srv.Submit(middleware.BatchFromBoT(workload))
-	eng.RunWhile(func() bool { return !srv.Done(botID) && eng.Now() <= horizon })
-
-	res.Events = eng.Executed()
-	res.Completed = srv.Done(botID)
-	if res.Completed {
-		res.CompletionTime = eng.Now()
-		if tail, ok := metrics.ComputeTail(rec.completions); ok {
-			res.Tail = tail
-		}
-		if n := len(rec.completions); n >= 2 {
-			series := metrics.CompletionSeries(rec.completions)
-			half := series[(n+1)/2-1].T
-			if half > 0 {
-				res.TC50Base = half / 0.5
-			}
-		}
-	}
-	if svc != nil {
-		if u, err := svc.Usage(botID); err == nil {
-			res.CreditsBilled = u.CreditsBilled
-			res.CloudCPUSeconds = u.CPUSeconds
-			res.Instances = u.InstancesStarted
-			res.TriggeredAt = u.TriggeredAt
-		}
-	}
-	return res
-}
-
-// CompletionCurve runs a baseline scenario and returns its Fig 1 curve.
+// CompletionCurve runs a scenario and returns its Fig 1 curve.
 func CompletionCurve(sc Scenario) ([]metrics.SeriesPoint, Result) {
-	horizon := sc.Profile.HorizonDays * 86400
-	seed := sc.Seed()
-	src, _ := TraceSource(sc.TraceName)
-	class, _ := bot.ClassByName(sc.BotClass)
-	if sc.Profile.BotScale > 0 && sc.Profile.BotScale != 1 {
-		class = class.Scaled(sc.Profile.BotScale)
-	}
-	eng := sim.NewEngine()
-	var srv middleware.Server
-	if sc.Middleware == BOINC {
-		srv = boinc.New(eng, boinc.DefaultConfig())
-	} else {
-		srv = xwhep.New(eng, xwhep.DefaultConfig())
-	}
-	tr := src.Generate(seed, horizon, sc.Profile.PoolCap)
-	middleware.BindTrace(eng, tr, srv)
-	botID := "curve"
-	workload := class.Generate(botID, seed)
-	rec := &recorder{batchID: botID}
-	srv.AddListener(rec)
-	srv.Submit(middleware.BatchFromBoT(workload))
-	eng.RunWhile(func() bool { return !srv.Done(botID) && eng.Now() <= horizon })
-	res := Result{
-		Middleware: sc.Middleware, TraceName: sc.TraceName, BotClass: sc.BotClass,
-		Completed: srv.Done(botID), Size: workload.Size(), CompletionTime: eng.Now(),
-	}
-	if tail, ok := metrics.ComputeTail(rec.completions); ok {
-		res.Tail = tail
-	}
-	return metrics.CompletionSeries(rec.completions), res
+	return campaign.CompletionCurve(sc)
 }

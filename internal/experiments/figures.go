@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"spequlos/internal/campaign"
 	"spequlos/internal/core"
 	"spequlos/internal/metrics"
 	"spequlos/internal/stats"
@@ -21,12 +22,31 @@ type Figure1 struct {
 	Result Result
 }
 
+// Figure1Job is the campaign job behind Fig 1: the example baseline
+// execution, with its completion series kept.
+func Figure1Job(p Profile) campaign.Job {
+	return campaign.Job{
+		Scenario: Scenario{
+			Profile: p, Middleware: XWHEP, TraceName: "seti", BotClass: "SMALL", Offset: 0,
+		},
+		KeepSeries: true,
+	}
+}
+
 // BuildFigure1 runs one baseline execution and extracts the Fig 1 curve.
 func BuildFigure1(p Profile) Figure1 {
-	series, res := CompletionCurve(Scenario{
-		Profile: p, Middleware: XWHEP, TraceName: "seti", BotClass: "SMALL", Offset: 0,
-	})
-	return Figure1{Series: series, Tail: res.Tail, Result: res}
+	e := campaign.Execute(Figure1Job(p))
+	return Figure1{Series: e.Series, Tail: e.Result.Tail, Result: e.Result}
+}
+
+// Figure1From derives Fig 1 from an already-executed store.
+func Figure1From(store *campaign.ResultStore, p Profile) (Figure1, error) {
+	j := Figure1Job(p)
+	e, ok := store.Get(j.Key())
+	if !ok || len(e.Series) == 0 {
+		return Figure1{}, fmt.Errorf("experiments: store missing figure 1 series %s", j.Key())
+	}
+	return Figure1{Series: e.Series, Tail: e.Result.Tail, Result: e.Result}, nil
 }
 
 // Render summarizes the curve.

@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sync"
 
+	"spequlos/internal/campaign"
 	"spequlos/internal/core"
 )
 
@@ -51,61 +52,89 @@ func (s MatrixSpec) bots() []string {
 	return s.Bots
 }
 
-// RunMatrix executes the campaign: for every (middleware, trace, bot,
-// offset) cell it runs the baseline and one SpeQuloS run per strategy, all
-// from the same seed. Cells run in parallel; results keep deterministic
-// order.
-func RunMatrix(p Profile, spec MatrixSpec) Matrix {
-	type job struct {
-		idx int
-		sc  Scenario
+func (s MatrixSpec) labels() []string {
+	labels := make([]string, len(s.Strategies))
+	for i, st := range s.Strategies {
+		labels[i] = st.Label()
 	}
-	var jobs []job
-	for _, mw := range spec.middlewares() {
-		for _, tn := range spec.traces() {
-			for _, bc := range spec.bots() {
+	return labels
+}
+
+// scenarios enumerates the cells of the spec in deterministic order.
+func (s MatrixSpec) scenarios(p Profile) []Scenario {
+	var out []Scenario
+	for _, mw := range s.middlewares() {
+		for _, tn := range s.traces() {
+			for _, bc := range s.bots() {
 				for off := 0; off < p.Offsets; off++ {
-					jobs = append(jobs, job{idx: len(jobs), sc: Scenario{
+					out = append(out, Scenario{
 						Profile: p, Middleware: mw, TraceName: tn, BotClass: bc, Offset: off,
-					}})
+					})
 				}
 			}
 		}
 	}
-	labels := make([]string, len(spec.Strategies))
-	for i, st := range spec.Strategies {
-		labels[i] = st.Label()
+	return out
+}
+
+// Jobs plans the campaign jobs of the spec: for every cell the baseline run
+// and one SpeQuloS run per strategy, all from the same seed.
+func (s MatrixSpec) Jobs(p Profile) []campaign.Job {
+	var jobs []campaign.Job
+	for _, sc := range s.scenarios(p) {
+		jobs = append(jobs, campaign.Job{Scenario: sc})
+		for _, st := range s.Strategies {
+			st := st
+			scs := sc
+			scs.Strategy = &st
+			jobs = append(jobs, campaign.Job{Scenario: scs})
+		}
 	}
-	pairs := make([]Pair, len(jobs))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, p.workers())
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			pair := Pair{Speq: map[string]Result{}}
-			pair.Base = Run(j.sc)
-			for _, st := range spec.Strategies {
-				st := st
-				scs := j.sc
-				scs.Strategy = &st
-				pair.Speq[st.Label()] = Run(scs)
-			}
-			mu.Lock()
-			pairs[j.idx] = pair
-			if spec.Log != nil {
-				fmt.Fprintf(spec.Log, "done %s/%s/%s #%d (base %.0fs, %d strategies)\n",
-					j.sc.Middleware, j.sc.TraceName, j.sc.BotClass, j.sc.Offset,
-					pair.Base.CompletionTime, len(spec.Strategies))
-			}
-			mu.Unlock()
-		}(j)
+	return jobs
+}
+
+// RunMatrix plans the spec's jobs, executes them once through the campaign
+// engine, and derives the Matrix view from the result store.
+func RunMatrix(p Profile, spec MatrixSpec) Matrix {
+	store := campaign.NewResultStore()
+	c := campaign.New(p, spec.Jobs(p)...)
+	if spec.Log != nil {
+		c.Progress = func(ev campaign.Event) {
+			fmt.Fprintf(spec.Log, "done %s (%d/%d, base %.0fs)\n",
+				ev.Key, ev.Done, ev.Total, ev.Result.CompletionTime)
+		}
 	}
-	wg.Wait()
-	return Matrix{Profile: p, Strategies: labels, Pairs: pairs}
+	c.Run(context.Background(), store)
+	m, err := MatrixFrom(store, p, spec)
+	if err != nil {
+		panic(err) // unreachable: the campaign just ran every planned job
+	}
+	return m
+}
+
+// MatrixFrom derives the Matrix view of a spec from an already-executed
+// result store. It fails if the store is missing any cell of the spec.
+func MatrixFrom(store *campaign.ResultStore, p Profile, spec MatrixSpec) (Matrix, error) {
+	m := Matrix{Profile: p, Strategies: spec.labels()}
+	for _, sc := range spec.scenarios(p) {
+		base, ok := store.Result(campaign.Job{Scenario: sc})
+		if !ok {
+			return Matrix{}, fmt.Errorf("experiments: store missing baseline %s", campaign.Job{Scenario: sc}.Key())
+		}
+		pair := Pair{Base: base, Speq: map[string]Result{}}
+		for _, st := range spec.Strategies {
+			st := st
+			scs := sc
+			scs.Strategy = &st
+			r, ok := store.Result(campaign.Job{Scenario: scs})
+			if !ok {
+				return Matrix{}, fmt.Errorf("experiments: store missing %s", campaign.Job{Scenario: scs}.Key())
+			}
+			pair.Speq[st.Label()] = r
+		}
+		m.Pairs = append(m.Pairs, pair)
+	}
+	return m, nil
 }
 
 // BaseResults extracts the baseline runs.

@@ -14,8 +14,10 @@
 //   - the BOINC and XtremWeb-HEP middleware simulators,
 //   - the SpeQuloS service modules (Information, Credit System, Oracle,
 //     Scheduler) and every provisioning strategy of §3.5,
-//   - the trace-driven experiment harness that regenerates each table and
-//     figure of the paper's evaluation,
+//   - the campaign engine (plan unique simulations once, execute each
+//     exactly once on a worker pool, persist and resume the result store)
+//     and the trace-driven experiment harness that derives each table and
+//     figure of the paper's evaluation from it,
 //   - the deployable HTTP service layer (one web service per module).
 //
 // Quick start — compare one execution with and without SpeQuloS:
@@ -35,6 +37,9 @@
 package spequlos
 
 import (
+	"context"
+
+	"spequlos/internal/campaign"
 	"spequlos/internal/core"
 	"spequlos/internal/experiments"
 )
@@ -107,6 +112,51 @@ func FullProfile() Profile { return experiments.Full() }
 // SpeQuloS run of the same scenario reproduces the paper's paired
 // comparisons.
 func Simulate(sc Scenario) Result { return experiments.Run(sc) }
+
+// Campaign plans a set of unique simulation jobs and executes each exactly
+// once on a bounded worker pool, filling a ResultStore. Campaigns stream
+// progress events, honour context cancellation, and resume from a
+// previously saved store.
+type Campaign = campaign.Campaign
+
+// CampaignJob is one unique simulation of a campaign, identified by a
+// content key (profile + scenario + strategy label + seed).
+type CampaignJob = campaign.Job
+
+// CampaignPlan is an ordered, deduplicated set of campaign jobs.
+type CampaignPlan = campaign.Plan
+
+// CampaignEvent is one streaming progress notification of a campaign run.
+type CampaignEvent = campaign.Event
+
+// CampaignStats summarizes a campaign run (planned/executed/cached jobs,
+// simulation events, wall clock).
+type CampaignStats = campaign.Stats
+
+// ResultStore is the keyed, concurrency-safe store campaigns fill; it
+// serializes to JSON for persistence and resumption.
+type ResultStore = campaign.ResultStore
+
+// StoreEntry is one stored simulation outcome.
+type StoreEntry = campaign.Entry
+
+// NewResultStore returns an empty result store.
+func NewResultStore() *ResultStore { return campaign.NewResultStore() }
+
+// LoadResultStore reads a store previously written with SaveFile.
+func LoadResultStore(path string) (*ResultStore, error) { return campaign.LoadFile(path) }
+
+// NewCampaign builds a campaign over the given jobs, deduplicating by
+// content key.
+func NewCampaign(p Profile, jobs ...CampaignJob) *Campaign { return campaign.New(p, jobs...) }
+
+// RunCampaign executes every job not already present in store, bounded by
+// the campaign's parallelism, until done or ctx is cancelled. Partial
+// results stay in the store, so a cancelled campaign resumes by running
+// again with the same store.
+func RunCampaign(ctx context.Context, c *Campaign, store *ResultStore) (CampaignStats, error) {
+	return c.Run(ctx, store)
+}
 
 // Middlewares lists the supported middleware names.
 func Middlewares() []string { return experiments.Middlewares() }
