@@ -14,6 +14,13 @@
 // -store flag persists the result store as JSON; re-running with the same
 // store skips simulations already recorded (resume), and -v streams
 // per-job progress.
+//
+// The -emulate flag additionally runs every strategy cell through the
+// deployable HTTP service stack (internal/service) on the virtual clock —
+// the emulation mode of internal/emul — and prints a conformance report
+// proving the stack matches the simulator on trigger time, fleet size,
+// credits billed and completion time. The command exits non-zero if any
+// cell diverges.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 
 	"spequlos/internal/campaign"
 	"spequlos/internal/core"
+	"spequlos/internal/emul"
 	"spequlos/internal/experiments"
 )
 
@@ -37,6 +45,7 @@ func main() {
 		profile   = flag.String("profile", "standard", "experiment profile: quick standard full")
 		offset    = flag.Int("offset", 0, "submission offset index (changes the seed)")
 		storePath = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
+		emulate   = flag.Bool("emulate", false, "also run each strategy cell through the deployable HTTP stack and report conformance")
 		verbose   = flag.Bool("v", false, "log per-job progress")
 	)
 	flag.Parse()
@@ -126,6 +135,28 @@ func main() {
 		report(j.Scenario.StrategyLabel(), res)
 		if base.Completed && res.Completed && res.CompletionTime > 0 {
 			fmt.Printf("  speedup vs baseline: %.2fx\n", base.CompletionTime/res.CompletionTime)
+		}
+	}
+
+	if *emulate {
+		if len(strategies) == 0 {
+			fatal(fmt.Errorf("-emulate needs at least one strategy (the stack is the QoS service)"))
+		}
+		rep, err := emul.RunConformance(ctx, emul.Spec{
+			Profile:       p,
+			Middlewares:   []string{*mw},
+			Traces:        []string{*tn},
+			Bots:          []string{*bc},
+			Strategies:    strategies,
+			OffsetIndexes: []int{*offset},
+			Store:         store, // the simulator side is already in the store
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Text())
+		if !rep.Pass() {
+			fatal(fmt.Errorf("emulation diverged from the simulator on %d cells", len(rep.Failures())))
 		}
 	}
 }

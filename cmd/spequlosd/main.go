@@ -16,6 +16,15 @@
 // Without a real Desktop Grid attached, the daemon uses a demo gateway
 // whose batches progress linearly over wall time (-demo-duration); point
 // -dg-url at a BOINC/XWHEP status endpoint adapter to drive a real DG.
+//
+// To drive these same four modules from a fully simulated Desktop Grid —
+// a BOINC/XWHEP/Condor batch generated from the paper's availability
+// traces, on a virtual clock, with launches turning into simulated cloud
+// workers — use the emulation harness instead of the daemon: internal/emul
+// hosts the stack behind the same DGGateway HTTP wire format (GET
+// /progress/{batch}, /busy/{instance}, /worker-url), and `spequlos-sim
+// -emulate` reports whether the stack's decisions match the in-process
+// simulator cell by cell.
 package main
 
 import (

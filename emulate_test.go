@@ -1,0 +1,37 @@
+package spequlos_test
+
+import (
+	"math"
+	"testing"
+
+	"spequlos"
+)
+
+// TestEmulateMatchesSimulate exercises the public emulation API: the same
+// scenario through Simulate (in-process) and Emulate (deployable HTTP stack
+// on the virtual clock) must agree.
+func TestEmulateMatchesSimulate(t *testing.T) {
+	st := spequlos.DefaultStrategy()
+	sc := spequlos.Scenario{
+		Profile: spequlos.QuickProfile(), Middleware: "XWHEP",
+		TraceName: "seti", BotClass: "SMALL", Strategy: &st,
+	}
+	sim := spequlos.Simulate(sc)
+	out, err := spequlos.Emulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Completed || !out.Completed {
+		t.Fatalf("completed: sim=%v emul=%v", sim.Completed, out.Completed)
+	}
+	if out.TriggeredAt != sim.TriggeredAt || out.Instances != sim.Instances {
+		t.Fatalf("fleet diverged: sim trig=%.0f inst=%d, emul trig=%.0f inst=%d",
+			sim.TriggeredAt, sim.Instances, out.TriggeredAt, out.Instances)
+	}
+	if math.Abs(sim.CreditsBilled-out.CreditsBilled) > 1e-6*(1+sim.CreditsBilled) {
+		t.Fatalf("billing diverged: sim=%v emul=%v", sim.CreditsBilled, out.CreditsBilled)
+	}
+	if math.Abs(sim.CompletionTime-out.CompletionTime) > 0.01*sim.CompletionTime {
+		t.Fatalf("completion diverged: sim=%.1f emul=%.1f", sim.CompletionTime, out.CompletionTime)
+	}
+}

@@ -53,7 +53,7 @@ func (j Job) Key() string {
 // executes) as that run.
 func (j Job) configKey() string {
 	st := j.Scenario.Strategy
-	mp := defaultMonitorPeriod
+	mp := DefaultMonitorPeriod
 	cf := j.Scenario.Profile.CreditFraction
 	if j.Config != nil {
 		st = &j.Config.Strategy

@@ -1,9 +1,6 @@
 package campaign
 
 import (
-	"fmt"
-
-	"spequlos/internal/bot"
 	"spequlos/internal/cloud"
 	"spequlos/internal/core"
 	"spequlos/internal/metrics"
@@ -12,9 +9,10 @@ import (
 	"spequlos/internal/xwhep"
 )
 
-// defaultMonitorPeriod is the paper's one-minute monitoring loop (§3.2),
-// used by plain strategy runs; variant jobs override it via Job.Config.
-const defaultMonitorPeriod = 60.0
+// DefaultMonitorPeriod is the paper's one-minute monitoring loop (§3.2),
+// used by plain strategy runs and the emulation harness; variant jobs
+// override it via Job.Config.
+const DefaultMonitorPeriod = 60.0
 
 // recorder captures exact per-task completion times.
 type recorder struct {
@@ -80,31 +78,25 @@ func executeOnce(j Job, horizon float64) Entry {
 		}
 		res.Strategy = cfg.Strategy.Label()
 	case sc.Strategy != nil:
-		cfg = core.Config{Strategy: *sc.Strategy, MonitorPeriod: defaultMonitorPeriod}
+		cfg = core.Config{Strategy: *sc.Strategy, MonitorPeriod: DefaultMonitorPeriod}
 		useService = true
 		res.Strategy = sc.Strategy.Label()
-	}
-
-	src, err := TraceSource(sc.TraceName)
-	if err != nil {
-		panic(err)
-	}
-	class, ok := bot.ClassByName(sc.BotClass)
-	if !ok {
-		panic("campaign: unknown bot class " + sc.BotClass)
-	}
-	if sc.Profile.BotScale > 0 && sc.Profile.BotScale != 1 {
-		class = class.Scaled(sc.Profile.BotScale)
 	}
 
 	eng := sim.NewEngine()
 	srv := newServer(eng, sc.Middleware)
 
-	tr := src.Generate(seed, horizon, sc.Profile.PoolCap)
+	tr, err := sc.GenerateTrace(horizon)
+	if err != nil {
+		panic(err)
+	}
 	middleware.BindTrace(eng, tr, srv)
 
-	botID := fmt.Sprintf("%s-%s-%s-%d", sc.Middleware, sc.TraceName, sc.BotClass, sc.Offset)
-	workload := class.Generate(botID, seed)
+	botID := sc.BotID()
+	workload, err := sc.Workload()
+	if err != nil {
+		panic(err)
+	}
 	res.Size = workload.Size()
 
 	rec := &recorder{batchID: botID}

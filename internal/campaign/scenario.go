@@ -13,6 +13,7 @@ import (
 	"runtime"
 
 	"spequlos/internal/boinc"
+	"spequlos/internal/bot"
 	"spequlos/internal/condor"
 	"spequlos/internal/core"
 	"spequlos/internal/metrics"
@@ -37,17 +38,29 @@ func Middlewares() []string { return []string{BOINC, XWHEP} }
 // AllMiddlewares includes the CONDOR extension.
 func AllMiddlewares() []string { return []string{BOINC, XWHEP, CONDOR} }
 
-// newServer builds a middleware server by name.
-func newServer(eng *sim.Engine, mw string) middleware.Server {
+// NewMiddlewareServer builds a middleware server by name with its default
+// configuration. The emulation harness (internal/emul) uses it so the
+// simulated DG behind the HTTP stack is built exactly like the simulator's.
+func NewMiddlewareServer(eng *sim.Engine, mw string) (middleware.Server, error) {
 	switch mw {
 	case BOINC:
-		return boinc.New(eng, boinc.DefaultConfig())
+		return boinc.New(eng, boinc.DefaultConfig()), nil
 	case XWHEP:
-		return xwhep.New(eng, xwhep.DefaultConfig())
+		return xwhep.New(eng, xwhep.DefaultConfig()), nil
 	case CONDOR:
-		return condor.New(eng, condor.DefaultConfig())
+		return condor.New(eng, condor.DefaultConfig()), nil
 	}
-	panic("campaign: unknown middleware " + mw)
+	return nil, fmt.Errorf("campaign: unknown middleware %q", mw)
+}
+
+// newServer builds a middleware server by name, panicking on unknown names
+// (the runner validates scenarios up front).
+func newServer(eng *sim.Engine, mw string) middleware.Server {
+	srv, err := NewMiddlewareServer(eng, mw)
+	if err != nil {
+		panic(err)
+	}
+	return srv
 }
 
 // TraceNames lists the six BE-DCI traces of Table 2, in paper order.
@@ -170,6 +183,35 @@ func (sc Scenario) StrategyLabel() string {
 		return ""
 	}
 	return sc.Strategy.Label()
+}
+
+// BotID is the batch identifier shared by the simulator, the emulation
+// harness and the DG server for this scenario's BoT.
+func (sc Scenario) BotID() string {
+	return fmt.Sprintf("%s-%s-%s-%d", sc.Middleware, sc.TraceName, sc.BotClass, sc.Offset)
+}
+
+// Workload generates the scenario's BoT deterministically: the class scaled
+// by the profile's BotScale, seeded from the scenario coordinates.
+func (sc Scenario) Workload() (*bot.BoT, error) {
+	class, ok := bot.ClassByName(sc.BotClass)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown bot class %q", sc.BotClass)
+	}
+	if sc.Profile.BotScale > 0 && sc.Profile.BotScale != 1 {
+		class = class.Scaled(sc.Profile.BotScale)
+	}
+	return class.Generate(sc.BotID(), sc.Seed()), nil
+}
+
+// GenerateTrace generates the scenario's availability trace for the given
+// horizon (seconds), capped at the profile's pool size.
+func (sc Scenario) GenerateTrace(horizon float64) (*trace.Trace, error) {
+	src, err := TraceSource(sc.TraceName)
+	if err != nil {
+		return nil, err
+	}
+	return src.Generate(sc.Seed(), horizon, sc.Profile.PoolCap), nil
 }
 
 // Result captures one run's outcome and metrics.

@@ -64,6 +64,7 @@ type MockDriver struct {
 	costPerHour float64
 
 	mu        sync.Mutex
+	now       func() time.Time
 	seq       int
 	instances map[string]*mockInstance
 }
@@ -79,8 +80,17 @@ func NewMockDriver(name string, bootLatency time.Duration, costPerHour float64) 
 		name:        name,
 		bootLatency: bootLatency,
 		costPerHour: costPerHour,
+		now:         time.Now,
 		instances:   map[string]*mockInstance{},
 	}
+}
+
+// SetClock replaces the driver's clock, so boot latencies elapse on an
+// injected (e.g. virtual) timeline instead of the wall clock.
+func (d *MockDriver) SetClock(now func() time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.now = now
 }
 
 // The providers the paper's prototype supports (§3.7). Boot latencies and
@@ -107,7 +117,7 @@ func (d *MockDriver) Launch(req LaunchRequest) (InstanceInfo, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.seq++
-	now := time.Now()
+	now := d.now()
 	inst := &mockInstance{
 		info: InstanceInfo{
 			ID:        fmt.Sprintf("%s-%06d", d.name, d.seq),
@@ -127,7 +137,7 @@ func (d *MockDriver) Launch(req LaunchRequest) (InstanceInfo, error) {
 // refresh moves pending instances to running once their boot latency has
 // elapsed. Callers hold d.mu.
 func (d *MockDriver) refresh(inst *mockInstance) {
-	if inst.info.State == StatePending && !time.Now().Before(inst.readyAt) {
+	if inst.info.State == StatePending && !d.now().Before(inst.readyAt) {
 		inst.info.State = StateRunning
 	}
 }

@@ -208,6 +208,13 @@ func (in *Information) Get(batchID string) *BatchInfo {
 	return in.batches[batchID]
 }
 
+// Count returns the number of tracked batches.
+func (in *Information) Count() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.batches)
+}
+
 // BatchIDs lists tracked batches, sorted.
 func (in *Information) BatchIDs() []string {
 	in.mu.RLock()

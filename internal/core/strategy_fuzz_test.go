@@ -1,0 +1,33 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzStrategyByLabel fuzzes the strategy-label parser: it must never
+// panic, accepted labels must round-trip through Label(), and every label
+// the system itself produces must parse.
+func FuzzStrategyByLabel(f *testing.F) {
+	for _, s := range AllStrategies() {
+		f.Add(s.Label())
+	}
+	f.Add("")
+	f.Add("9C-C-R ")
+	f.Add("9c-c-r")
+	f.Add("9C--R")
+	f.Add("9C-C-R-X")
+	f.Add(strings.Repeat("9C-", 100))
+	f.Fuzz(func(t *testing.T, label string) {
+		s, err := StrategyByLabel(label)
+		if err != nil {
+			return
+		}
+		if got := s.Label(); got != label {
+			t.Fatalf("round trip: parsed %q renders as %q", label, got)
+		}
+		if s.Trigger == nil || s.Sizing == nil {
+			t.Fatalf("parsed strategy %q has nil components: %+v", label, s)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package emul
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"spequlos/internal/campaign"
+	"spequlos/internal/core"
+)
+
+// TestQuickConformance is the acceptance gate of the emulation mode: every
+// cell of the quick-profile subset — all middleware, two contrasting
+// traces, strategies covering every trigger, sizing and deployment — must
+// agree between the in-process simulator and the deployable HTTP stack on
+// the trigger decision, the fleet size, the credits billed, and the
+// completion time (±1%).
+func TestQuickConformance(t *testing.T) {
+	rep, err := RunConformance(context.Background(), QuickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(campaign.AllMiddlewares()) * 2 * 1 * 4
+	if len(rep.Cells) != want {
+		t.Fatalf("cells: %d, want %d", len(rep.Cells), want)
+	}
+	for _, c := range rep.Cells {
+		if c.Pass {
+			continue
+		}
+		t.Errorf("cell %s diverged (trigger=%v instances=%v credits=%v completion=%v err=%q)\n  sim:  %+v\n  emul: %+v",
+			c.Label(), c.TriggerMatch, c.InstancesMatch, c.CreditsMatch, c.CompletionMatch, c.Err, c.Sim, c.Emul)
+	}
+	if !rep.Pass() {
+		t.Logf("\n%s", rep.Text())
+	}
+}
+
+func TestConformanceReportText(t *testing.T) {
+	rep := Report{Profile: "quick", Cells: []Cell{
+		{Middleware: "XWHEP", Trace: "seti", Bot: "SMALL", Strategy: "9C-C-R",
+			Sim:  Metrics{Completed: true, CompletionTime: 1000, Instances: 2, CreditsBilled: 3},
+			Emul: Metrics{Completed: true, CompletionTime: 1000, Instances: 2, CreditsBilled: 3},
+			TriggerMatch: true, InstancesMatch: true, CreditsMatch: true, CompletionMatch: true, Pass: true},
+		{Middleware: "BOINC", Trace: "nd", Bot: "BIG", Strategy: "9C-G-F", Err: "boom"},
+	}}
+	if rep.Pass() {
+		t.Fatal("report with a failing cell passed")
+	}
+	txt := rep.Text()
+	for _, want := range []string{"XWHEP/seti/SMALL/9C-C-R#0", "PASS", "ERROR boom", "FAIL (1 cells diverged)"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("report text missing %q:\n%s", want, txt)
+		}
+	}
+	if got := len(rep.Failures()); got != 1 {
+		t.Errorf("failures: %d", got)
+	}
+}
+
+// TestConformanceDetectsDivergence proves the harness is not vacuous: a
+// deliberately skewed tolerance-free comparison of different strategies
+// must fail.
+func TestConformanceDetectsDivergence(t *testing.T) {
+	// Store a simulator result computed under a different strategy than the
+	// emulated one: the harness must flag the divergence.
+	scSim := quickScenario("XWHEP", "seti", "9C-G-F")
+	scEmul := quickScenario("XWHEP", "seti", "9C-C-R")
+	store := campaign.NewResultStore()
+	e := campaign.Execute(campaign.Job{Scenario: scSim})
+	// Re-key the entry under the emulated scenario's key, simulating a
+	// stale/corrupted store.
+	e.Key = campaign.Job{Scenario: scEmul}.Key()
+	e.Result.Strategy = scEmul.StrategyLabel()
+	store.Put(e)
+	spec := Spec{
+		Profile: campaign.Quick(), Middlewares: []string{"XWHEP"},
+		Traces: []string{"seti"}, Bots: []string{"SMALL"},
+		Strategies: []core.Strategy{*scEmul.Strategy},
+		Store:      store,
+	}
+	rep, err := RunConformance(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Fatalf("divergent strategies conformed:\n%s", rep.Text())
+	}
+}

@@ -1,0 +1,266 @@
+// Package emul is the emulation mode of SpeQuloS: it runs the deployable
+// HTTP service stack (internal/service — the four web-service modules of
+// §3.7/Fig 8) inside the discrete-event simulation. A virtual clock is
+// injected into every module, a simulated BOINC/XWHEP/Condor batch is
+// exposed behind the DGGateway HTTP interface (fed through the 3G-Bridge
+// path of internal/bridge), cloud launches become simulated cloud workers,
+// and a simulation ticker drives the Scheduler's monitor loop — so an
+// emulated run is deterministic, wall-clock-free, and directly comparable
+// to the same scenario executed by the in-process simulator
+// (internal/campaign).
+//
+// On top of single runs, the package provides a conformance campaign
+// (RunConformance): every cell of a (trace × BoT class × middleware ×
+// strategy) subset executes both in-process and through the HTTP stack, and
+// the per-cell report proves the two agree on the trigger decision, the
+// cloud fleet size, the credits billed, and the completion time. CI runs
+// the quick-profile subset on every change, so the deployable service and
+// the simulator cannot silently drift apart.
+package emul
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"spequlos/internal/bridge"
+	"spequlos/internal/campaign"
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/middleware"
+	"spequlos/internal/service"
+	"spequlos/internal/sim"
+	"spequlos/internal/xwhep"
+)
+
+// Outcome is the result of one emulated execution: the metrics the
+// conformance harness compares against the in-process simulator, plus the
+// emulation's own accounting.
+type Outcome struct {
+	BatchID    string `json:"batch_id"`
+	Middleware string `json:"middleware"`
+	TraceName  string `json:"trace"`
+	BotClass   string `json:"bot"`
+	Strategy   string `json:"strategy"`
+
+	Completed      bool    `json:"completed"`
+	Size           int     `json:"size"`
+	CompletionTime float64 `json:"completion_time"`
+	// TriggeredAt is when the Scheduler started cloud support (virtual
+	// seconds since submission; -1 if never).
+	TriggeredAt      float64 `json:"triggered_at"`
+	Started          bool    `json:"started"`
+	Instances        int     `json:"instances"`
+	CreditsAllocated float64 `json:"credits_allocated"`
+	CreditsBilled    float64 `json:"credits_billed"`
+	Exhausted        bool    `json:"exhausted"`
+
+	// Events counts simulation events; Ticks counts Scheduler monitor
+	// iterations driven by the virtual ticker.
+	Events uint64 `json:"events"`
+	Ticks  int    `json:"ticks"`
+	// BridgeForwarded/BridgeCompleted are the 3G-Bridge accounting of the
+	// grid-submitted batch.
+	BridgeForwarded int `json:"bridge_forwarded"`
+	BridgeCompleted int `json:"bridge_completed"`
+}
+
+// RunCell executes one scenario through the deployable HTTP stack on the
+// virtual clock, retrying with a doubled horizon if the trace window proved
+// too short — the same retry policy as the in-process runner, so the two
+// sides always simulate the same window.
+func RunCell(sc campaign.Scenario) (Outcome, error) {
+	if sc.Strategy == nil {
+		return Outcome{}, fmt.Errorf("emul: scenario needs a strategy (the stack is the QoS service)")
+	}
+	horizon := sc.Profile.HorizonDays * 86400
+	var o Outcome
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		o, err = runOnce(sc, horizon)
+		if err != nil || o.Completed {
+			return o, err
+		}
+		horizon *= 2
+	}
+	return o, nil
+}
+
+// runOnce is one bounded-horizon emulated execution.
+func runOnce(sc campaign.Scenario, horizon float64) (Outcome, error) {
+	o := Outcome{
+		Middleware: sc.Middleware, TraceName: sc.TraceName, BotClass: sc.BotClass,
+		Strategy: sc.StrategyLabel(), TriggeredAt: -1,
+	}
+
+	// The simulated world: engine, DG server, availability trace, workload
+	// and cloud — built exactly as the in-process runner builds them, from
+	// the same scenario seed.
+	eng := sim.NewEngine()
+	primary, err := campaign.NewMiddlewareServer(eng, sc.Middleware)
+	if err != nil {
+		return o, err
+	}
+	tr, err := sc.GenerateTrace(horizon)
+	if err != nil {
+		return o, err
+	}
+	middleware.BindTrace(eng, tr, primary)
+	botID := sc.BotID()
+	o.BatchID = botID
+	workload, err := sc.Workload()
+	if err != nil {
+		return o, err
+	}
+	o.Size = workload.Size()
+	simCl := cloud.NewSimCloud(eng, cloud.DefaultSimConfig(), sim.NewRNG(sc.Seed()))
+
+	// The DG gateway: the simulated server behind the DGGateway HTTP
+	// interface, plus the cloud driver that turns Scheduler launches into
+	// simulated workers.
+	gw := NewSimDG(eng, primary, simCl, SimDGConfig{
+		Deploy: sc.Strategy.Deploy,
+		CloudServerFactory: func() middleware.Server {
+			return xwhep.New(eng, xwhep.DefaultConfig())
+		},
+	})
+	dgSrv := httptest.NewServer(gw.Handler())
+	defer dgSrv.Close()
+	gw.SetWorkerURL(dgSrv.URL)
+
+	// The deployable stack: all four modules on their own loopback HTTP
+	// servers, every clock replaced by the virtual one.
+	stack := service.NewTestStack(service.StackConfig{
+		Strategy: *sc.Strategy,
+		Registry: cloud.NewRegistry(gw.Driver()),
+		DG:       NewDGClient(dgSrv.URL),
+	})
+	defer stack.Close()
+	epoch := time.Unix(0, 0).UTC()
+	stack.SetClock(func() time.Time {
+		return epoch.Add(time.Duration(eng.Now() * float64(time.Second)))
+	})
+
+	// registerQoS + orderQoS of Fig 3, over the wire.
+	credits := sc.Profile.CreditFraction * workload.WorkloadCPUHours() * core.CreditsPerCPUHour
+	if credits > 0 {
+		if err := stack.CreditClient.Deposit("user", credits); err != nil {
+			return o, err
+		}
+		o.CreditsAllocated = credits
+	}
+	if err := postQoS(stack.SchedulerAddr, service.QoSRequest{
+		User: "user", BatchID: botID, EnvKey: sc.EnvKey(), Size: workload.Size(),
+		Credits: credits, Provider: ProviderName, Image: "emul-worker",
+	}); err != nil {
+		return o, err
+	}
+
+	// The monitor loop: a simulation ticker steps the Scheduler at the
+	// paper's one-minute period. A completion hook steps once more at the
+	// instant the batch finishes, mirroring the in-process simulator's
+	// event-driven finalization (billing settles at the completion time,
+	// not at the next poll).
+	var stepErr error
+	finalized := false
+	stepOnce := func() {
+		if stepErr != nil || finalized {
+			return
+		}
+		o.Ticks++
+		if err := stack.Scheduler.Step(); err != nil {
+			stepErr = err
+			return
+		}
+		if st, err := stack.Scheduler.Status(botID); err == nil {
+			finalized = st.Finalized
+		}
+	}
+	ticker := eng.NewTicker(campaign.DefaultMonitorPeriod, func(sim.Time) { stepOnce() })
+	defer ticker.Stop()
+	completedAt := -1.0
+	primary.AddListener(completionHook{batchID: botID, fn: func(at float64) {
+		if completedAt < 0 {
+			completedAt = at
+			eng.After(0, stepOnce)
+		}
+	}})
+
+	// Submission arrives through the 3G-Bridge, the grid path of §3.7: the
+	// batch keeps its QoS identifier, so the stack recognizes it exactly as
+	// a natively-submitted BoT.
+	br := bridge.New(primary)
+	if err := br.SubmitGridBatch("emul-grid", middleware.BatchFromBoT(workload)); err != nil {
+		return o, err
+	}
+
+	eng.RunWhile(func() bool {
+		return stepErr == nil && !finalized && eng.Now() <= horizon
+	})
+	if stepErr != nil {
+		return o, fmt.Errorf("emul: scheduler step: %w", stepErr)
+	}
+
+	o.Completed = completedAt >= 0
+	o.CompletionTime = completedAt
+	o.Events = eng.Executed()
+	if st, err := stack.Scheduler.Status(botID); err == nil {
+		o.Started = st.Started
+		o.Exhausted = st.Exhausted
+		o.TriggeredAt = st.TriggeredAt
+		o.Instances = len(st.Instances)
+	}
+	if credits > 0 {
+		order, err := stack.CreditClient.OrderOf(botID)
+		if err != nil {
+			return o, err
+		}
+		o.CreditsBilled = order.Billed
+	}
+	for _, s := range br.StatsBySource() {
+		o.BridgeForwarded += s.Forwarded
+		o.BridgeCompleted += s.Completed
+	}
+	return o, nil
+}
+
+// completionHook invokes fn when the watched batch completes.
+type completionHook struct {
+	batchID string
+	fn      func(at float64)
+}
+
+func (h completionHook) TaskAssigned(string, int, float64)  {}
+func (h completionHook) TaskCompleted(string, int, float64) {}
+func (h completionHook) BatchCompleted(batchID string, at float64) {
+	if batchID == h.batchID {
+		h.fn(at)
+	}
+}
+
+// postQoS registers a batch for QoS support through the Scheduler's HTTP
+// API.
+func postQoS(schedulerURL string, req service.QoSRequest) error {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(schedulerURL+"/qos", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("emul: registerQoS: %s", e.Error)
+		}
+		return fmt.Errorf("emul: registerQoS: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

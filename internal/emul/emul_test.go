@@ -1,0 +1,186 @@
+package emul
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"spequlos/internal/campaign"
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/middleware"
+	"spequlos/internal/sim"
+)
+
+func quickScenario(mw, tn, label string) campaign.Scenario {
+	st, err := core.StrategyByLabel(label)
+	if err != nil {
+		panic(err)
+	}
+	return campaign.Scenario{
+		Profile: campaign.Quick(), Middleware: mw, TraceName: tn,
+		BotClass: "SMALL", Offset: 0, Strategy: &st,
+	}
+}
+
+// TestRunCellMatchesSimulator is the single-cell conformance check: the
+// deployable HTTP stack on the virtual clock must reproduce the in-process
+// simulator's trigger time, fleet size, billing and completion time.
+func TestRunCellMatchesSimulator(t *testing.T) {
+	sc := quickScenario("XWHEP", "seti", "9C-C-R")
+	sim := campaign.Run(sc)
+	out, err := RunCell(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Completed || !out.Completed {
+		t.Fatalf("completed: sim=%v emul=%v", sim.Completed, out.Completed)
+	}
+	if out.TriggeredAt != sim.TriggeredAt {
+		t.Errorf("trigger: sim=%.0f emul=%.0f", sim.TriggeredAt, out.TriggeredAt)
+	}
+	if out.Instances != sim.Instances {
+		t.Errorf("instances: sim=%d emul=%d", sim.Instances, out.Instances)
+	}
+	if !within(sim.CreditsBilled, out.CreditsBilled, 1e-6) {
+		t.Errorf("credits: sim=%v emul=%v", sim.CreditsBilled, out.CreditsBilled)
+	}
+	if !within(sim.CompletionTime, out.CompletionTime, 0.01) {
+		t.Errorf("completion: sim=%.1f emul=%.1f", sim.CompletionTime, out.CompletionTime)
+	}
+	if out.Size != sim.Size || out.BridgeForwarded != out.Size || out.BridgeCompleted != out.Size {
+		t.Errorf("bridge accounting: size=%d forwarded=%d completed=%d (sim size %d)",
+			out.Size, out.BridgeForwarded, out.BridgeCompleted, sim.Size)
+	}
+	if out.Ticks == 0 || out.Events == 0 {
+		t.Errorf("no ticks/events recorded: %+v", out)
+	}
+}
+
+// TestRunCellDeterministic: two emulated runs of the same scenario are
+// identical.
+func TestRunCellDeterministic(t *testing.T) {
+	sc := quickScenario("BOINC", "seti", "9C-C-R")
+	a, err := RunCell(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCell(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic emulation:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+func TestRunCellRequiresStrategy(t *testing.T) {
+	sc := quickScenario("XWHEP", "seti", "9C-C-R")
+	sc.Strategy = nil
+	if _, err := RunCell(sc); err == nil {
+		t.Fatal("baseline scenario accepted")
+	}
+}
+
+// TestGatewayHTTP exercises the DG wire protocol: progress, worker-url and
+// busy over real HTTP, plus error paths.
+func TestGatewayHTTP(t *testing.T) {
+	eng := sim.NewEngine()
+	primary, err := campaign.NewMiddlewareServer(eng, campaign.XWHEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCl := cloud.NewSimCloud(eng, cloud.DefaultSimConfig(), sim.NewRNG(1))
+	gw := NewSimDG(eng, primary, simCl, SimDGConfig{Deploy: core.Reschedule})
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+	gw.SetWorkerURL(srv.URL)
+	c := NewDGClient(srv.URL)
+
+	if got := c.WorkerURL(); got != srv.URL {
+		t.Fatalf("worker url %q, want %q", got, srv.URL)
+	}
+	sc := quickScenario("XWHEP", "seti", "9C-C-R")
+	workload, err := sc.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.Submit(middleware.Batch{ID: "b", Tasks: workload.Tasks})
+	eng.RunUntil(1)
+	p, perr := c.Progress("b")
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if p.Size == 0 || p.Arrived == 0 {
+		t.Fatalf("progress: %+v", p)
+	}
+	if _, err := c.InstanceBusy("ghost"); err == nil {
+		t.Fatal("unknown instance busy accepted")
+	}
+	// Unknown routes return JSON errors.
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route: %d", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("unknown route error payload: %v %+v", err, e)
+	}
+}
+
+// TestDriverLifecycle drives the emulated provider directly: launch boots a
+// simulated worker, describe tracks its state, terminate stops it.
+func TestDriverLifecycle(t *testing.T) {
+	eng := sim.NewEngine()
+	primary, err := campaign.NewMiddlewareServer(eng, campaign.XWHEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCl := cloud.NewSimCloud(eng, cloud.DefaultSimConfig(), sim.NewRNG(2))
+	gw := NewSimDG(eng, primary, simCl, SimDGConfig{Deploy: core.Reschedule})
+	gw.SetWorkerURL("http://dg.emul")
+	d := gw.Driver()
+
+	if _, err := d.Launch(cloud.LaunchRequest{Image: "img"}); err == nil {
+		t.Fatal("launch without batch id accepted")
+	}
+	info, err := d.Launch(cloud.LaunchRequest{Image: "img", BatchID: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != cloud.StatePending || info.Provider != ProviderName {
+		t.Fatalf("launched: %+v", info)
+	}
+	// The worker connects after the simulated boot delay.
+	eng.RunUntil(cloud.DefaultSimConfig().BootDelay + 1)
+	desc, err := d.Describe(info.ID)
+	if err != nil || desc.State != cloud.StateRunning {
+		t.Fatalf("describe after boot: %+v %v", desc, err)
+	}
+	if got := len(d.List()); got != 1 {
+		t.Fatalf("list: %d instances", got)
+	}
+	if err := d.Terminate(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	desc, err = d.Describe(info.ID)
+	if err != nil || desc.State != cloud.StateTerminated {
+		t.Fatalf("describe after terminate: %+v %v", desc, err)
+	}
+	if got := len(d.List()); got != 0 {
+		t.Fatalf("list after terminate: %d instances", got)
+	}
+	if err := d.Terminate("ghost"); err == nil {
+		t.Fatal("terminating unknown instance accepted")
+	}
+}
+
+var _ = context.Background

@@ -1,0 +1,352 @@
+package emul
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/middleware"
+	"spequlos/internal/sim"
+)
+
+// ProviderName is the provider registered for emulated cloud instances.
+const ProviderName = "emul"
+
+// SimDGConfig parameterizes the simulated Desktop Grid gateway.
+type SimDGConfig struct {
+	// Deploy is the cloud deployment strategy the DG side implements (§3.5):
+	// Flat leaves the server unmodified, Reschedule patches it to feed
+	// dedicated cloud workers duplicates, CloudDuplication mirrors the tail
+	// onto a dedicated cloud-hosted server.
+	Deploy core.Deployment
+	// CloudServerFactory builds the cloud-hosted server of the
+	// CloudDuplication deployment (trusted resources, so an XWHEP-style
+	// single-execution server is appropriate).
+	CloudServerFactory func() middleware.Server
+}
+
+// SimDG is a simulated Desktop Grid server wrapped as a SpeQuloS gateway: it
+// answers the Scheduler's progress polls from a middleware simulation and
+// turns cloud-driver launches into simulated cloud workers joining that
+// simulation. All methods must run on the simulation goroutine — the
+// Scheduler only calls them from inside engine ticks, and the HTTP handler
+// serializes with the engine through the request/response round trip.
+type SimDG struct {
+	eng     *sim.Engine
+	primary middleware.Server
+	simCl   *cloud.SimCloud
+	cfg     SimDGConfig
+
+	workerURL string
+	epoch     time.Time
+
+	seq       int
+	instances map[string]*simInstance
+	cloudSrvs map[string]middleware.Server // CloudDuplication secondaries per batch
+}
+
+type simInstance struct {
+	info cloud.InstanceInfo
+	inst *cloud.Instance
+}
+
+// NewSimDG wraps a middleware simulation as a DG gateway.
+func NewSimDG(eng *sim.Engine, primary middleware.Server, simCl *cloud.SimCloud, cfg SimDGConfig) *SimDG {
+	return &SimDG{
+		eng: eng, primary: primary, simCl: simCl, cfg: cfg,
+		epoch:     time.Unix(0, 0).UTC(),
+		instances: map[string]*simInstance{},
+		cloudSrvs: map[string]middleware.Server{},
+	}
+}
+
+// SetWorkerURL records the endpoint cloud workers are told to connect to
+// (the gateway's own HTTP address once it is listening).
+func (g *SimDG) SetWorkerURL(url string) { g.workerURL = url }
+
+// Progress returns the primary server's view of a batch — exactly what the
+// in-process simulator's monitor observes.
+func (g *SimDG) Progress(batchID string) (middleware.Progress, error) {
+	return g.primary.Progress(batchID), nil
+}
+
+// WorkerURL implements service.DGGateway.
+func (g *SimDG) WorkerURL() string { return g.workerURL }
+
+// InstanceBusy reports whether the worker booted from an instance currently
+// holds an assignment (service.WorkerStatusGateway).
+func (g *SimDG) InstanceBusy(instanceID string) (bool, error) {
+	si, ok := g.instances[instanceID]
+	if !ok {
+		return false, fmt.Errorf("emul: unknown instance %q", instanceID)
+	}
+	return si.inst.Busy(), nil
+}
+
+// launch starts one simulated cloud worker for the request's batch,
+// implementing the configured deployment strategy on the DG side.
+func (g *SimDG) launch(req cloud.LaunchRequest) (cloud.InstanceInfo, error) {
+	if req.BatchID == "" {
+		return cloud.InstanceInfo{}, fmt.Errorf("emul: launch request needs a batch id")
+	}
+	target := g.primary
+	flat := false
+	switch g.cfg.Deploy {
+	case core.Flat:
+		flat = true
+	case core.Reschedule:
+		g.primary.SetReschedule(true)
+	case core.CloudDuplication:
+		target = g.cloudServer(req.BatchID)
+	}
+	inst := g.simCl.Start(target, req.BatchID, flat)
+	g.seq++
+	id := fmt.Sprintf("%s-%06d", ProviderName, g.seq)
+	si := &simInstance{
+		info: cloud.InstanceInfo{
+			ID: id, Provider: ProviderName, State: cloud.StatePending,
+			BatchID: req.BatchID, DGServer: g.workerURL, Image: req.Image,
+			StartedAt: g.now(),
+		},
+		inst: inst,
+	}
+	g.instances[id] = si
+	return si.info, nil
+}
+
+// cloudServer lazily builds the CloudDuplication secondary for a batch:
+// a dedicated cloud-hosted server loaded with the uncompleted tail, with
+// bidirectional result merging — the same wiring as the in-process
+// simulator's startCloudServer.
+func (g *SimDG) cloudServer(batchID string) middleware.Server {
+	if sec, ok := g.cloudSrvs[batchID]; ok {
+		return sec
+	}
+	if g.cfg.CloudServerFactory == nil {
+		panic("emul: CloudDuplication requires a CloudServerFactory")
+	}
+	sec := g.cfg.CloudServerFactory()
+	tail := g.primary.Incomplete(batchID)
+	sec.Submit(middleware.Batch{ID: batchID, Tasks: tail})
+	sec.AddListener(mirror{to: g.primary, batchID: batchID})
+	g.primary.AddListener(mirror{to: sec, batchID: batchID})
+	g.cloudSrvs[batchID] = sec
+	return sec
+}
+
+// mirror merges completions between the primary and the cloud server.
+type mirror struct {
+	to      middleware.Server
+	batchID string
+}
+
+func (m mirror) TaskAssigned(string, int, float64) {}
+func (m mirror) TaskCompleted(batchID string, taskID int, _ float64) {
+	if batchID == m.batchID {
+		m.to.MarkCompleted(batchID, taskID)
+	}
+}
+func (m mirror) BatchCompleted(string, float64) {}
+
+// terminate stops an instance's simulated worker.
+func (g *SimDG) terminate(id string) error {
+	si, ok := g.instances[id]
+	if !ok {
+		return fmt.Errorf("emul: unknown instance %q", id)
+	}
+	g.simCl.Stop(si.inst)
+	si.info.State = cloud.StateTerminated
+	return nil
+}
+
+// describe refreshes and returns an instance's descriptor.
+func (g *SimDG) describe(id string) (cloud.InstanceInfo, error) {
+	si, ok := g.instances[id]
+	if !ok {
+		return cloud.InstanceInfo{}, fmt.Errorf("emul: unknown instance %q", id)
+	}
+	return g.refresh(si), nil
+}
+
+// refresh derives the driver-visible lifecycle state from the simulated
+// instance: pending until the worker connects, running until stopped.
+func (g *SimDG) refresh(si *simInstance) cloud.InstanceInfo {
+	switch {
+	case !si.inst.Running():
+		si.info.State = cloud.StateTerminated
+	case si.inst.Booted():
+		si.info.State = cloud.StateRunning
+	default:
+		si.info.State = cloud.StatePending
+	}
+	return si.info
+}
+
+// now maps virtual time onto the emulation's wall-clock epoch.
+func (g *SimDG) now() time.Time {
+	return g.epoch.Add(time.Duration(g.eng.Now() * float64(time.Second)))
+}
+
+// Driver returns the gateway's cloud driver: launching an instance through
+// it starts a simulated cloud worker, exactly as SimCloud does for the
+// in-process simulator.
+func (g *SimDG) Driver() cloud.Driver { return (*Driver)(g) }
+
+// Driver is SimDG exposed through the libcloud-like provider interface.
+type Driver SimDG
+
+// Name implements cloud.Driver.
+func (d *Driver) Name() string { return ProviderName }
+
+// Launch implements cloud.Driver.
+func (d *Driver) Launch(req cloud.LaunchRequest) (cloud.InstanceInfo, error) {
+	return (*SimDG)(d).launch(req)
+}
+
+// Terminate implements cloud.Driver.
+func (d *Driver) Terminate(id string) error { return (*SimDG)(d).terminate(id) }
+
+// Describe implements cloud.Driver.
+func (d *Driver) Describe(id string) (cloud.InstanceInfo, error) {
+	return (*SimDG)(d).describe(id)
+}
+
+// List implements cloud.Driver.
+func (d *Driver) List() []cloud.InstanceInfo {
+	g := (*SimDG)(d)
+	var out []cloud.InstanceInfo
+	for i := 1; i <= g.seq; i++ {
+		id := fmt.Sprintf("%s-%06d", ProviderName, i)
+		if si, ok := g.instances[id]; ok {
+			if info := g.refresh(si); info.State != cloud.StateTerminated {
+				out = append(out, info)
+			}
+		}
+	}
+	return out
+}
+
+// Handler exposes the gateway over HTTP — the wire shape of the DGGateway
+// interface, so the Scheduler module talks to the (simulated) DG server
+// exactly as it would to a remote BOINC/XWHEP status adapter:
+//
+//	GET /progress/{batch}  → middleware.Progress
+//	GET /busy/{instance}   → {"busy": bool}
+//	GET /worker-url        → {"worker_url": string}
+func (g *SimDG) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/progress/")
+		if r.Method != http.MethodGet || id == "" {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+			return
+		}
+		p, err := g.Progress(id)
+		if err != nil {
+			httpErr(w, http.StatusBadGateway, err)
+			return
+		}
+		httpJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("/busy/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/busy/")
+		if r.Method != http.MethodGet || id == "" {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+			return
+		}
+		busy, err := g.InstanceBusy(id)
+		if err != nil {
+			httpErr(w, http.StatusNotFound, err)
+			return
+		}
+		httpJSON(w, http.StatusOK, map[string]bool{"busy": busy})
+	})
+	mux.HandleFunc("/worker-url", func(w http.ResponseWriter, r *http.Request) {
+		httpJSON(w, http.StatusOK, map[string]string{"worker_url": g.workerURL})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+	})
+	return mux
+}
+
+func httpJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func httpErr(w http.ResponseWriter, status int, err error) {
+	httpJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// DGClient implements service.DGGateway (and the WorkerStatusGateway
+// extension) against a gateway's HTTP endpoint — the Scheduler side of the
+// wire.
+type DGClient struct {
+	BaseURL string
+	HTTP    *http.Client
+
+	mu        sync.Mutex
+	workerURL string
+}
+
+// NewDGClient builds a gateway client for the given base URL. The client
+// carries its own timeout: the Scheduler holds per-batch state while
+// polling the DG, and a hung gateway connection must not wedge it.
+func NewDGClient(baseURL string) *DGClient {
+	return &DGClient{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *DGClient) get(path string, out any) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("emul: %s", e.Error)
+		}
+		return fmt.Errorf("emul: HTTP %d on %s", resp.StatusCode, path)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Progress implements service.DGGateway.
+func (c *DGClient) Progress(batchID string) (middleware.Progress, error) {
+	var p middleware.Progress
+	err := c.get("/progress/"+batchID, &p)
+	return p, err
+}
+
+// WorkerURL implements service.DGGateway; the answer is cached after the
+// first fetch.
+func (c *DGClient) WorkerURL() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.workerURL != "" {
+		return c.workerURL
+	}
+	var out map[string]string
+	if err := c.get("/worker-url", &out); err != nil {
+		return c.BaseURL
+	}
+	c.workerURL = out["worker_url"]
+	return c.workerURL
+}
+
+// InstanceBusy implements service.WorkerStatusGateway.
+func (c *DGClient) InstanceBusy(instanceID string) (bool, error) {
+	var out map[string]bool
+	err := c.get("/busy/"+instanceID, &out)
+	return out["busy"], err
+}

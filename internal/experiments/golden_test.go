@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spequlos/internal/campaign"
+	"spequlos/internal/core"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden artifact files")
+
+// goldenSpec is the pinned quick-profile artifact subset: small enough to
+// run on every change, wide enough that a drift in the trace generators,
+// the workload classes, the middleware simulators, the campaign keys or the
+// store-derived builders shows up as a golden diff.
+func goldenSpec() (Profile, ArtifactOptions) {
+	p := campaign.Quick()
+	return p, ArtifactOptions{Spec: MatrixSpec{
+		Traces:     []string{"seti", "g5klyo"},
+		Bots:       []string{"SMALL"},
+		Strategies: []core.Strategy{core.DefaultStrategy()},
+	}}
+}
+
+// TestQuickArtifactsGolden pins the store-derived quick-profile artifacts —
+// the matrix, Figure 1 and Table 2 — against golden files, so builders
+// reading from the shared ResultStore cannot silently drift between PRs.
+// Regenerate with: go test ./internal/experiments -run Golden -update-golden
+func TestQuickArtifactsGolden(t *testing.T) {
+	p, opts := goldenSpec()
+	a, _, err := BuildArtifacts(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, v any) {
+		t.Helper()
+		got, err := json.MarshalIndent(v, "", " ")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got = append(got, '\n')
+		path := filepath.Join("testdata", name+".golden.json")
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-golden to create)", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from golden file %s;\nif the change is intended, regenerate with -update-golden.\ngot %d bytes, want %d bytes",
+				name, path, len(got), len(want))
+		}
+	}
+	check("matrix", a.Matrix)
+	check("figure1", a.Figure1)
+	check("table2", a.Table2)
+}

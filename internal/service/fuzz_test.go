@@ -1,0 +1,66 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"spequlos/internal/core"
+)
+
+// FuzzReadJSON fuzzes the shared request decoder: it must never panic, and
+// on success the decoded value must survive a marshal/unmarshal round trip.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"batch_id":"b","env_key":"e","size":10,"submitted_at":0}`))
+	f.Add([]byte(`{bogus`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"size":1e309}`))
+	f.Add([]byte(`{"batch_id":"b","unknown":true}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"size":"ten"}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/batches", bytes.NewReader(body))
+		var tr TrackRequest
+		if err := readJSON(req, &tr); err != nil {
+			return
+		}
+		buf, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatalf("decoded value does not re-marshal: %v", err)
+		}
+		var tr2 TrackRequest
+		if err := json.Unmarshal(buf, &tr2); err != nil {
+			t.Fatalf("re-marshaled value does not decode: %v", err)
+		}
+		if tr != tr2 {
+			t.Fatalf("lossy round trip: %+v != %+v", tr, tr2)
+		}
+	})
+}
+
+// FuzzInformationHandler fuzzes the batch-registration endpoint end to end:
+// whatever the body, the handler must answer 201 or an error status with a
+// JSON payload — never an empty 200.
+func FuzzInformationHandler(f *testing.F) {
+	f.Add([]byte(`{"batch_id":"b","env_key":"e","size":10}`))
+	f.Add([]byte(`{bogus`))
+	f.Add([]byte(`{"size":-3}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		svc := NewInformationService(core.NewInformation())
+		req := httptest.NewRequest(http.MethodPost, "/batches", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		svc.ServeHTTP(rec, req)
+		if rec.Code == http.StatusOK {
+			t.Fatalf("POST /batches answered 200 for %q", body)
+		}
+		if rec.Body.Len() == 0 {
+			t.Fatalf("empty response body for %q (status %d)", body, rec.Code)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("non-JSON response %q for %q", rec.Body.Bytes(), body)
+		}
+	})
+}

@@ -17,19 +17,38 @@ import (
 //	POST /batches/{id}/samples       append a monitoring sample
 //	GET  /batches/{id}               batch status summary
 //	GET  /batches                    list tracked batch IDs
+//	GET  /stats                      archive size and service uptime
 //
 // Samples arrive from DG-side monitors (a few hundred bytes per minute per
 // BoT, as §3.2 notes), so one Information service can archive many BoTs and
 // infrastructures simultaneously.
 type InformationService struct {
-	mu    sync.RWMutex
-	info  *core.Information
+	mu   sync.RWMutex
+	info *core.Information
+	// Now is the service clock. Emulated deployments replace it with the
+	// simulation's virtual clock so the module never mixes virtual and
+	// real time (see internal/emul).
+	Now   func() time.Time
 	start time.Time
 }
 
 // NewInformationService wraps an Information archive.
 func NewInformationService(info *core.Information) *InformationService {
-	return &InformationService{info: info, start: time.Now()}
+	return &InformationService{info: info, Now: time.Now, start: time.Now()}
+}
+
+// SetClock replaces the service clock and re-anchors the uptime origin.
+func (s *InformationService) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Now = now
+	s.start = now()
+}
+
+// InfoStats is the archive summary served at GET /stats.
+type InfoStats struct {
+	Batches       int     `json:"batches"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // TrackRequest registers a batch.
@@ -134,6 +153,15 @@ func (s *InformationService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.mu.RUnlock()
 		writeJSON(w, http.StatusOK, ids)
 
+	case r.Method == http.MethodGet && r.URL.Path == "/stats":
+		s.mu.RLock()
+		st := InfoStats{
+			Batches:       s.info.Count(),
+			UptimeSeconds: s.Now().Sub(s.start).Seconds(),
+		}
+		s.mu.RUnlock()
+		writeJSON(w, http.StatusOK, st)
+
 	case r.Method == http.MethodGet && pathTail(r.URL.Path, "/batches/") != "":
 		id := pathTail(r.URL.Path, "/batches/")
 		s.mu.RLock()
@@ -229,6 +257,17 @@ func (c *InformationClient) Status(batchID string) (BatchStatus, error) {
 		return BatchStatus{}, err
 	}
 	var st BatchStatus
+	err = decodeReply(resp, &st)
+	return st, err
+}
+
+// Stats fetches the archive summary.
+func (c *InformationClient) Stats() (InfoStats, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/stats")
+	if err != nil {
+		return InfoStats{}, err
+	}
+	var st InfoStats
 	err = decodeReply(resp, &st)
 	return st, err
 }

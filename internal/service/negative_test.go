@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+)
+
+// negativeModules builds each module mounted standalone, the way every
+// handler is deployed. Handlers must reject bad input before touching their
+// collaborators, so placeholder clients are enough.
+func negativeModules() map[string]http.Handler {
+	infoClient := NewInformationClient("")
+	return map[string]http.Handler{
+		"information": NewInformationService(core.NewInformation()),
+		"credit":      NewCreditService(core.NewCreditSystem()),
+		"oracle":      NewOracleService(core.NewOracle(core.DefaultStrategy()), infoClient),
+		"scheduler": NewSchedulerService(infoClient, NewCreditClient(""), NewOracleClient(""),
+			cloud.DefaultRegistry(), &scriptedDG{size: 1}),
+	}
+}
+
+// TestNegativePaths drives every module through its failure surface: wrong
+// methods, malformed JSON, unknown fields, unknown routes. Every response
+// must be an HTTP error carrying a JSON {"error": ...} payload — never an
+// empty 200.
+func TestNegativePaths(t *testing.T) {
+	cases := []struct {
+		module string
+		method string
+		path   string
+		body   string
+		want   int // 0 means "any 4xx/5xx"
+	}{
+		// Information.
+		{"information", http.MethodDelete, "/batches", "", 0},
+		{"information", http.MethodPut, "/batches/b1", "", 0},
+		{"information", http.MethodPost, "/batches", `{bogus`, http.StatusBadRequest},
+		{"information", http.MethodPost, "/batches", `{"batch_id":"b","size":10,"nope":1}`, http.StatusBadRequest},
+		{"information", http.MethodPost, "/batches", `{"batch_id":"b","size":-1}`, http.StatusBadRequest},
+		{"information", http.MethodPost, "/batches/b/samples", `{bogus`, http.StatusBadRequest},
+		{"information", http.MethodPost, "/batches/b/samples", `{"t":1}`, http.StatusNotFound},
+		{"information", http.MethodGet, "/batches/ghost", "", http.StatusNotFound},
+		{"information", http.MethodGet, "/nope", "", http.StatusNotFound},
+		{"information", http.MethodPost, "/stats", "", 0},
+
+		// Credit System.
+		{"credit", http.MethodDelete, "/deposit", "", 0},
+		{"credit", http.MethodPost, "/deposit", `{bogus`, http.StatusBadRequest},
+		{"credit", http.MethodPost, "/deposit", `{"user":"u","credits":5,"extra":true}`, http.StatusBadRequest},
+		{"credit", http.MethodPost, "/deposit", `{"user":"u","credits":-5}`, http.StatusBadRequest},
+		{"credit", http.MethodPost, "/orders", `{bogus`, http.StatusBadRequest},
+		{"credit", http.MethodPost, "/orders", `{"user":"u","batch_id":"b","credits":1}`, http.StatusConflict},
+		{"credit", http.MethodPost, "/orders/b/bill", `{bogus`, http.StatusBadRequest},
+		{"credit", http.MethodPost, "/orders/ghost/bill", `{"credits":1}`, http.StatusConflict},
+		{"credit", http.MethodPost, "/orders/ghost/pay", "", http.StatusNotFound},
+		{"credit", http.MethodGet, "/orders/ghost", "", http.StatusNotFound},
+		{"credit", http.MethodGet, "/nope", "", http.StatusNotFound},
+
+		// Oracle.
+		{"oracle", http.MethodDelete, "/plan", "", 0},
+		{"oracle", http.MethodPost, "/plan", `{bogus`, http.StatusBadRequest},
+		{"oracle", http.MethodPost, "/plan", `{"batch_id":"b","surprise":1}`, http.StatusBadRequest},
+		{"oracle", http.MethodPost, "/calibration", `{bogus`, http.StatusBadRequest},
+		{"oracle", http.MethodPost, "/calibration", `{"env_key":"e","base":1,"actual":2,"x":3}`, http.StatusBadRequest},
+		{"oracle", http.MethodGet, "/nope", "", http.StatusNotFound},
+
+		// Scheduler.
+		{"scheduler", http.MethodDelete, "/qos", "", 0},
+		{"scheduler", http.MethodPost, "/qos", `{bogus`, http.StatusBadRequest},
+		{"scheduler", http.MethodPost, "/qos", `{"batch_id":"b","size":1,"spare":"x"}`, http.StatusBadRequest},
+		{"scheduler", http.MethodPost, "/qos", `{"batch_id":"","size":1}`, http.StatusConflict},
+		{"scheduler", http.MethodGet, "/qos/ghost", "", http.StatusNotFound},
+		{"scheduler", http.MethodPatch, "/instances", "", 0},
+		{"scheduler", http.MethodGet, "/nope", "", http.StatusNotFound},
+	}
+
+	servers := map[string]*httptest.Server{}
+	for name, h := range negativeModules() {
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		servers[name] = srv
+	}
+
+	for _, tc := range cases {
+		name := tc.module + " " + tc.method + " " + tc.path
+		t.Run(name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, servers[tc.module].URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if tc.want != 0 && resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+			if tc.want == 0 && resp.StatusCode < 400 {
+				t.Fatalf("status %d, want an error", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("content type %q", ct)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var e apiError
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("non-JSON error body %q: %v", body, err)
+			}
+			if e.Error == "" {
+				t.Fatalf("empty error payload: %q", body)
+			}
+		})
+	}
+}
+
+// TestGreedyReleaseStopsIdleWorkers pins the Greedy release policy of the
+// deployable Scheduler: booted workers that hold no assignment are settled
+// and terminated, matching the in-process simulator (§3.5).
+func TestGreedyReleaseStopsIdleWorkers(t *testing.T) {
+	dg := &idleStatusDG{scriptedDG: scriptedDG{size: 100}}
+	ec2 := cloud.NewMockEC2()
+	stack := NewTestStack(StackConfig{
+		Strategy: core.Strategy{Trigger: core.CompletionThreshold{Frac: 0.9},
+			Sizing: core.Greedy{}, Deploy: core.Reschedule},
+		Registry: cloud.NewRegistry(ec2),
+		DG:       dg,
+	})
+	defer stack.Close()
+	now := time.Unix(1_700_000_000, 0)
+	stack.SetClock(func() time.Time { return now })
+	ec2.SetClock(func() time.Time { return now })
+
+	stack.CreditClient.Deposit("u", 1000)
+	if err := stack.Scheduler.RegisterQoS(QoSRequest{
+		User: "u", BatchID: "b", EnvKey: "e", Size: 100,
+		Credits: 300, Provider: "ec2", Image: "img",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dg.set(95, 100)
+	now = now.Add(time.Minute)
+	if err := stack.Scheduler.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := stack.Scheduler.Status("b")
+	if !st.Started || len(st.Instances) == 0 {
+		t.Fatalf("cloud not started: %+v", st)
+	}
+	if st.TriggeredAt != 60 {
+		t.Fatalf("triggered at %v, want 60", st.TriggeredAt)
+	}
+	// Wait past the mock boot latency, then report every worker idle: the
+	// next step must stop them all.
+	now = now.Add(2 * time.Minute)
+	if err := stack.Scheduler.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ec2.List()); got != 0 {
+		t.Fatalf("%d idle instances still running after greedy release", got)
+	}
+	// The order is settled, not exhausted: credits return for later use.
+	o, err := stack.CreditClient.OrderOf("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Billed <= 0 || o.Remaining() <= 0 {
+		t.Fatalf("order after release: %+v", o)
+	}
+	st, _ = stack.Scheduler.Status("b")
+	if st.Exhausted {
+		t.Fatal("release must not exhaust the order")
+	}
+}
+
+// idleStatusDG reports every instance idle (WorkerStatusGateway).
+type idleStatusDG struct{ scriptedDG }
+
+func (d *idleStatusDG) InstanceBusy(string) (bool, error) { return false, nil }

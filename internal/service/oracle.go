@@ -42,6 +42,10 @@ type PlanReply struct {
 	Start   bool   `json:"start"`
 	Workers int    `json:"workers"`
 	Reason  string `json:"reason"`
+	// ReleaseIdle tells the Scheduler to stop booted workers that obtained
+	// no work, releasing their credits — the Greedy release policy (§3.5:
+	// "Cloud workers that do not have tasks assigned stop immediately").
+	ReleaseIdle bool `json:"release_idle"`
 }
 
 // CalibrationRecord archives one finished execution.
@@ -150,6 +154,7 @@ func (s *OracleService) plan(st BatchStatus, creditHours float64) PlanReply {
 		return PlanReply{Reason: "trigger " + s.oracle.Strategy.Trigger.Code() + " not fired"}
 	}
 	var n int
+	releaseIdle := false
 	switch s.oracle.Strategy.Sizing.(type) {
 	case core.Greedy:
 		if creditHours > 0 {
@@ -158,16 +163,24 @@ func (s *OracleService) plan(st BatchStatus, creditHours float64) PlanReply {
 				n = 1
 			}
 		}
+		releaseIdle = true
 	case core.Conservative:
-		// Remaining time estimated from the constant completion rate.
-		if creditHours > 0 && st.CompletedFraction > 0 {
-			elapsed := st.LastSample.T
-			tr := elapsed/st.CompletedFraction - elapsed
-			nf := creditHours
-			if trH := tr / 3600; trH > 0 && creditHours/trH < nf {
-				nf = creditHours / trH
+		// Remaining time estimated from the constant completion rate. With
+		// no completions yet (a 9A trigger can fire on assignments alone)
+		// the rate is undefined and the whole allowance starts, matching
+		// core.Conservative.
+		if creditHours > 0 {
+			if st.CompletedFraction <= 0 {
+				n = int(creditHours)
+			} else {
+				elapsed := st.LastSample.T
+				tr := elapsed/st.CompletedFraction - elapsed
+				nf := creditHours
+				if trH := tr / 3600; trH > 0 && creditHours/trH < nf {
+					nf = creditHours / trH
+				}
+				n = int(nf)
 			}
-			n = int(nf)
 			if n < 1 {
 				n = 1
 			}
@@ -176,7 +189,8 @@ func (s *OracleService) plan(st BatchStatus, creditHours float64) PlanReply {
 	if remaining := st.Size - st.LastSample.Completed; n > remaining {
 		n = remaining
 	}
-	return PlanReply{Start: n > 0, Workers: n, Reason: "trigger " + s.oracle.Strategy.Trigger.Code() + " fired"}
+	return PlanReply{Start: n > 0, Workers: n, ReleaseIdle: releaseIdle,
+		Reason: "trigger " + s.oracle.Strategy.Trigger.Code() + " fired"}
 }
 
 // OracleClient is the typed client of the Oracle service.

@@ -15,12 +15,25 @@ import (
 // DGGateway abstracts the Desktop Grid server the Scheduler monitors. A
 // production deployment implements it against a BOINC or XWHEP server's
 // status API (or the 3G-Bridge for grid-submitted BoTs); tests and demos
-// use a scripted fake.
+// use a scripted fake, and internal/emul drives a fully simulated DG
+// behind the same interface.
 type DGGateway interface {
 	// Progress returns the server's current view of a batch.
 	Progress(batchID string) (middleware.Progress, error)
 	// WorkerURL is the endpoint cloud workers connect to.
 	WorkerURL() string
+}
+
+// WorkerStatusGateway is an optional DGGateway extension: gateways that can
+// report whether a launched instance's worker currently holds an assignment
+// enable the Greedy release policy (§3.5: "Cloud workers that do not have
+// tasks assigned stop immediately"). Without it the Scheduler keeps idle
+// workers running until the order exhausts or the batch completes.
+type WorkerStatusGateway interface {
+	DGGateway
+	// InstanceBusy reports whether the worker booted from the given cloud
+	// instance currently holds an assignment on the DG server.
+	InstanceBusy(instanceID string) (bool, error)
 }
 
 // SchedulerService is the deployable Scheduler module: it drives the
@@ -58,6 +71,16 @@ type schedBatch struct {
 	Exhausted bool
 	Finalized bool
 	StartedAt time.Time
+	// TriggeredAt is when cloud support started, in seconds since
+	// registration; -1 until the trigger fires.
+	TriggeredAt float64
+	// ReleaseIdle is the Oracle's release policy for this batch: stop
+	// booted workers that obtained no work (Greedy sizing).
+	ReleaseIdle bool
+	// stepping serializes monitor iterations per batch: the daemon ticker
+	// and external POST /step clients may race, and a double step must not
+	// double-bill or double-launch.
+	stepping bool
 
 	instances []managedInstance
 }
@@ -81,11 +104,14 @@ type QoSRequest struct {
 
 // QoSStatus reports the Scheduler's view of a batch.
 type QoSStatus struct {
-	BatchID   string               `json:"batch_id"`
-	Started   bool                 `json:"started"`
-	Exhausted bool                 `json:"exhausted"`
-	Finalized bool                 `json:"finalized"`
-	Instances []cloud.InstanceInfo `json:"instances"`
+	BatchID   string `json:"batch_id"`
+	Started   bool   `json:"started"`
+	Exhausted bool   `json:"exhausted"`
+	Finalized bool   `json:"finalized"`
+	// TriggeredAt is when cloud support started, in seconds since
+	// registration (-1 if it never did).
+	TriggeredAt float64              `json:"triggered_at"`
+	Instances   []cloud.InstanceInfo `json:"instances"`
 }
 
 // NewSchedulerService wires the Scheduler to its collaborators.
@@ -164,6 +190,7 @@ func (s *SchedulerService) RegisterQoS(req QoSRequest) error {
 	s.batches[req.BatchID] = &schedBatch{
 		ID: req.BatchID, User: req.User, EnvKey: req.EnvKey, Size: req.Size,
 		Provider: req.Provider, Image: req.Image, StartedAt: s.Now(),
+		TriggeredAt: -1,
 	}
 	s.order = append(s.order, req.BatchID)
 	return nil
@@ -177,7 +204,8 @@ func (s *SchedulerService) Status(batchID string) (QoSStatus, error) {
 	if !ok {
 		return QoSStatus{}, fmt.Errorf("scheduler: batch %q not registered", batchID)
 	}
-	st := QoSStatus{BatchID: qb.ID, Started: qb.Started, Exhausted: qb.Exhausted, Finalized: qb.Finalized}
+	st := QoSStatus{BatchID: qb.ID, Started: qb.Started, Exhausted: qb.Exhausted,
+		Finalized: qb.Finalized, TriggeredAt: qb.TriggeredAt}
 	for _, mi := range qb.instances {
 		st.Instances = append(st.Instances, mi.Info)
 	}
@@ -214,12 +242,23 @@ func (s *SchedulerService) Step() error {
 }
 
 func (s *SchedulerService) stepBatch(id string) error {
+	// Claim the batch for this iteration: concurrent steps (daemon ticker
+	// plus external POST /step clients) must not double-bill or
+	// double-launch. Losing the claim is not an error — the other step is
+	// doing the same work.
 	s.mu.Lock()
 	qb := s.batches[id]
-	s.mu.Unlock()
-	if qb == nil || qb.Finalized {
+	if qb == nil || qb.Finalized || qb.stepping {
+		s.mu.Unlock()
 		return nil
 	}
+	qb.stepping = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		qb.stepping = false
+		s.mu.Unlock()
+	}()
 
 	// Monitor: pull progress from the DG, push a sample to Information.
 	p, err := s.dg.Progress(id)
@@ -240,17 +279,23 @@ func (s *SchedulerService) stepBatch(id string) error {
 	}
 
 	// Algorithm 2: bill running instances; stop everything when the order
-	// runs dry.
+	// runs dry; under the Greedy policy, release workers that got no work.
 	if err := s.billInstances(qb, now); err != nil {
 		return err
 	}
-	if qb.Exhausted {
+	if s.exhausted(qb) {
 		s.stopAll(qb, now)
 		return nil
 	}
+	if err := s.releaseIdleInstances(qb, now); err != nil {
+		return err
+	}
 
 	// Algorithm 1: ask the Oracle whether to start cloud workers.
-	if qb.Started {
+	s.mu.Lock()
+	started := qb.Started
+	s.mu.Unlock()
+	if started {
 		return nil
 	}
 	has, err := s.credits.HasCredits(id)
@@ -285,8 +330,100 @@ func (s *SchedulerService) stepBatch(id string) error {
 	}
 	s.mu.Lock()
 	qb.Started = true
+	qb.TriggeredAt = elapsed
+	qb.ReleaseIdle = plan.ReleaseIdle
 	s.mu.Unlock()
 	return nil
+}
+
+// exhausted reads the exhaustion flag under the lock.
+func (s *SchedulerService) exhausted(qb *schedBatch) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return qb.Exhausted
+}
+
+// releaseIdleInstances implements the Greedy release policy: booted workers
+// that hold no assignment are settled and stopped so their credits return to
+// the order (§3.5). It requires a gateway that can report worker status;
+// otherwise it is a no-op. Remote calls run outside the service lock — only
+// the claiming step mutates a batch's instances, so the snapshot stays
+// valid while the lock is released.
+func (s *SchedulerService) releaseIdleInstances(qb *schedBatch, now time.Time) error {
+	gw, ok := s.dg.(WorkerStatusGateway)
+	if !ok {
+		return nil
+	}
+	s.mu.Lock()
+	if !qb.ReleaseIdle {
+		s.mu.Unlock()
+		return nil
+	}
+	ids := make([]string, 0, len(qb.instances))
+	lastBill := make(map[string]time.Time, len(qb.instances))
+	for i := range qb.instances {
+		if mi := &qb.instances[i]; mi.Info.State != cloud.StateTerminated {
+			ids = append(ids, mi.Info.ID)
+			lastBill[mi.Info.ID] = mi.LastBill
+		}
+	}
+	s.mu.Unlock()
+	driver, err := s.registry.Get(qb.Provider)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		desc, err := driver.Describe(id)
+		if err != nil || desc.State != cloud.StateRunning {
+			continue // still booting, or gone
+		}
+		busy, err := gw.InstanceBusy(id)
+		if err != nil || busy {
+			continue
+		}
+		// Settle the outstanding usage, then stop the worker. LastBill only
+		// advances once billing succeeded: a failed Bill leaves the window
+		// open for the next tick instead of losing it. Exhaustion while
+		// settling still stops this idle worker and keeps releasing the
+		// rest; busy workers run until the next tick's billing notices the
+		// dry order — the same sequence as the in-process Scheduler.
+		if sec := now.Sub(lastBill[id]).Seconds(); sec > 0 {
+			reply, err := s.credits.Bill(qb.ID, sec/3600*core.CreditsPerCPUHour)
+			if err != nil {
+				return err
+			}
+			s.setLastBill(qb, id, now)
+			if reply.Exhausted {
+				s.mu.Lock()
+				qb.Exhausted = true
+				s.mu.Unlock()
+			}
+		}
+		if err := driver.Terminate(id); err == nil {
+			s.markTerminated(qb, id)
+		}
+	}
+	return nil
+}
+
+func (s *SchedulerService) setLastBill(qb *schedBatch, id string, t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range qb.instances {
+		if qb.instances[i].Info.ID == id {
+			qb.instances[i].LastBill = t
+		}
+	}
+}
+
+func (s *SchedulerService) markTerminated(qb *schedBatch, id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range qb.instances {
+		if qb.instances[i].Info.ID == id {
+			qb.instances[i].Info.State = cloud.StateTerminated
+		}
+	}
 }
 
 // billInstances charges wall-clock usage of live instances.

@@ -3,6 +3,7 @@ package service
 import (
 	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"spequlos/internal/cloud"
 	"spequlos/internal/core"
@@ -70,6 +71,14 @@ func (s *Stack) Close() {
 	for _, srv := range s.servers {
 		srv.Close()
 	}
+}
+
+// SetClock injects the wall clock of every clock-bearing module. The
+// emulation harness (internal/emul) uses it to run the whole deployment on
+// the simulation's virtual clock; production deployments keep time.Now.
+func (s *Stack) SetClock(now func() time.Time) {
+	s.Information.SetClock(now)
+	s.Scheduler.Now = now
 }
 
 // Mux mounts all four modules under one HTTP mux with path prefixes —

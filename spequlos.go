@@ -18,7 +18,10 @@
 //     exactly once on a worker pool, persist and resume the result store)
 //     and the trace-driven experiment harness that derives each table and
 //     figure of the paper's evaluation from it,
-//   - the deployable HTTP service layer (one web service per module).
+//   - the deployable HTTP service layer (one web service per module),
+//   - the emulation mode, which runs that HTTP stack inside the simulation
+//     on a virtual clock and proves cell by cell that it matches the
+//     in-process simulator (Emulate, RunConformance).
 //
 // Quick start — compare one execution with and without SpeQuloS:
 //
@@ -41,6 +44,7 @@ import (
 
 	"spequlos/internal/campaign"
 	"spequlos/internal/core"
+	"spequlos/internal/emul"
 	"spequlos/internal/experiments"
 )
 
@@ -156,6 +160,41 @@ func NewCampaign(p Profile, jobs ...CampaignJob) *Campaign { return campaign.New
 // again with the same store.
 func RunCampaign(ctx context.Context, c *Campaign, store *ResultStore) (CampaignStats, error) {
 	return c.Run(ctx, store)
+}
+
+// EmulationOutcome is the result of one scenario executed through the
+// deployable HTTP service stack on the virtual clock.
+type EmulationOutcome = emul.Outcome
+
+// ConformanceSpec scopes a conformance campaign: the scenario subset run
+// both in-process and through the HTTP stack, and the comparison
+// tolerances.
+type ConformanceSpec = emul.Spec
+
+// ConformanceReport is the per-cell agreement report of a conformance
+// campaign.
+type ConformanceReport = emul.Report
+
+// ConformanceCell is one cell of a conformance report.
+type ConformanceCell = emul.Cell
+
+// Emulate executes one scenario (which must carry a strategy) through the
+// deployable HTTP service stack — all four modules on loopback HTTP servers,
+// clocks virtualized, the Desktop Grid simulated behind the gateway wire
+// format — and returns its outcome. Emulated runs are deterministic and
+// directly comparable to Simulate on the same scenario.
+func Emulate(sc Scenario) (EmulationOutcome, error) { return emul.RunCell(sc) }
+
+// QuickConformanceSpec returns the quick-profile conformance subset CI runs:
+// every middleware, two contrasting traces, and strategies covering every
+// trigger, sizing and deployment.
+func QuickConformanceSpec() ConformanceSpec { return emul.QuickSpec() }
+
+// RunConformance executes every cell of the spec both in-process and through
+// the HTTP stack and reports per-cell agreement on trigger decision, fleet
+// size, credits billed and completion time.
+func RunConformance(ctx context.Context, spec ConformanceSpec) (ConformanceReport, error) {
+	return emul.RunConformance(ctx, spec)
 }
 
 // Middlewares lists the supported middleware names.
