@@ -253,6 +253,24 @@ func BenchmarkSingleRunXWHEPSeti(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleRunStressSeti measures one stress-profile simulation: 10×
+// the quick worker churn (2500-node pool) over a 30-day horizon, the
+// configuration that exercises the pooled event kernel at BOINC-like host
+// volumes.
+func BenchmarkSingleRunStressSeti(b *testing.B) {
+	b.ReportAllocs()
+	p := experiments.Stress()
+	for i := 0; i < b.N; i++ {
+		res := Simulate(Scenario{
+			Profile: p, Middleware: "XWHEP", TraceName: "seti", BotClass: "SMALL",
+			Offset: i,
+		})
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
 func BenchmarkSingleRunBOINCSeti(b *testing.B) {
 	b.ReportAllocs()
 	p := benchProfile()

@@ -43,13 +43,16 @@ import (
 
 func main() {
 	var (
-		profile    = flag.String("profile", "standard", "experiment profile: quick standard full")
+		profile    = flag.String("profile", "standard", "experiment profile: quick standard full stress")
 		out        = flag.String("out", "results", "output directory")
 		strats     = flag.String("strategies", "all", "comma-separated strategy labels for the sweep, or 'all'")
 		storePath  = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
 		ablations  = flag.Bool("ablations", false, "run the design-choice ablation sweeps")
 		comparison = flag.Bool("comparison", false, "run the three-middleware comparison")
 		verbose    = flag.Bool("v", false, "log per-scenario progress")
+		benchJSON  = flag.String("bench-json", "", "perf report path (default <out>/BENCH_<profile>.json); an existing report's trajectory is extended")
+		benchLabel = flag.String("bench-label", "", "label recorded with this run's trajectory entry (e.g. a PR number or git rev)")
+		baseline   = flag.String("baseline", "", "baseline BENCH_*.json to print a throughput delta against")
 	)
 	flag.Parse()
 
@@ -112,8 +115,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("campaign done in %v: %d executed, %d cached, %.0f events/sec\n",
-		stats.Elapsed.Round(time.Second), stats.Executed, stats.Cached, stats.EventsPerSecond())
+	fmt.Printf("campaign done in %v: %d executed, %d cached, %.0f events/sec (%.0f events/cpu-sec)\n",
+		stats.Elapsed.Round(time.Second), stats.Executed, stats.Cached,
+		stats.EventsPerSecond(), stats.EventsPerCPUSecond())
 
 	var summary strings.Builder
 	emit := func(name, text, csv string) {
@@ -194,14 +198,25 @@ func main() {
 	if err := os.WriteFile(filepath.Join(*out, "summary.txt"), []byte(summary.String()), 0o644); err != nil {
 		fatal(err)
 	}
-	if err := writeBenchReport(filepath.Join(*out, "BENCH_"+p.Name+".json"),
-		p, defaultLabel, stats, a, time.Since(start)); err != nil {
+	reportPath := *benchJSON
+	if reportPath == "" {
+		reportPath = filepath.Join(*out, "BENCH_"+p.Name+".json")
+	}
+	// Print the delta before writing the report: -baseline may name the same
+	// file the report extends, and the comparison is against its prior run.
+	if *baseline != "" {
+		printBaselineDelta(*baseline, stats)
+	}
+	if err := writeBenchReport(reportPath, p, defaultLabel, *benchLabel, stats, a, time.Since(start)); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("all artifacts written to %s/ in %v\n", *out, time.Since(start).Round(time.Second))
 }
 
-// benchReport is the machine-readable perf record of one artifact run.
+// benchReport is the machine-readable perf record of one artifact run. The
+// trajectory accumulates one record per run of the same report file, so a
+// committed BENCH_<profile>.json regenerated each PR becomes the perf
+// history of the kernel instead of a single overwritten snapshot.
 type benchReport struct {
 	Profile         string            `json:"profile"`
 	DefaultStrategy string            `json:"default_strategy"`
@@ -210,9 +225,11 @@ type benchReport struct {
 	CachedJobs      int               `json:"cached_jobs"`
 	SimEvents       uint64            `json:"sim_events"`
 	EventsPerSec    float64           `json:"events_per_sec"`
+	EventsPerCPUSec float64           `json:"events_per_cpu_sec,omitempty"`
 	CampaignSecs    float64           `json:"campaign_wallclock_s"`
 	TotalSecs       float64           `json:"total_wallclock_s"`
 	Artifacts       []artifactTimingJ `json:"artifacts"`
+	Trajectory      []trajectoryPoint `json:"trajectory,omitempty"`
 }
 
 type artifactTimingJ struct {
@@ -220,7 +237,21 @@ type artifactTimingJ struct {
 	Wallclock float64 `json:"wallclock_s"`
 }
 
-func writeBenchReport(path string, p experiments.Profile, defaultLabel string,
+// trajectoryPoint is one run's throughput record.
+type trajectoryPoint struct {
+	RecordedAt      string  `json:"recorded_at,omitempty"`
+	Label           string  `json:"label,omitempty"`
+	SimEvents       uint64  `json:"sim_events"`
+	ExecutedJobs    int     `json:"executed_jobs"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	EventsPerCPUSec float64 `json:"events_per_cpu_sec,omitempty"`
+	CampaignSecs    float64 `json:"campaign_wallclock_s"`
+}
+
+// maxTrajectory bounds the history kept in a report file.
+const maxTrajectory = 500
+
+func writeBenchReport(path string, p experiments.Profile, defaultLabel, runLabel string,
 	stats campaign.Stats, a experiments.Artifacts, total time.Duration) error {
 	r := benchReport{
 		Profile:         p.Name,
@@ -230,23 +261,80 @@ func writeBenchReport(path string, p experiments.Profile, defaultLabel string,
 		CachedJobs:      stats.Cached,
 		SimEvents:       stats.Events,
 		EventsPerSec:    stats.EventsPerSecond(),
+		EventsPerCPUSec: stats.EventsPerCPUSecond(),
 		CampaignSecs:    stats.Elapsed.Seconds(),
 		TotalSecs:       total.Seconds(),
 	}
 	for _, t := range a.Timings {
 		r.Artifacts = append(r.Artifacts, artifactTimingJ{Name: t.Name, Wallclock: t.Elapsed.Seconds()})
 	}
-	f, err := os.Create(path)
+	// Extend the existing report's trajectory: prior records carry over, and
+	// this run appends one. A pre-trajectory report contributes its headline
+	// numbers as the first point, so history starts at the oldest committed
+	// measurement. An unreadable prior file starts a fresh history.
+	if prev, err := readBenchReport(path); err == nil {
+		r.Trajectory = prev.Trajectory
+		if len(r.Trajectory) == 0 && prev.EventsPerSec > 0 {
+			r.Trajectory = append(r.Trajectory, trajectoryPoint{
+				Label:           "pre-trajectory baseline",
+				SimEvents:       prev.SimEvents,
+				ExecutedJobs:    prev.ExecutedJobs,
+				EventsPerSec:    prev.EventsPerSec,
+				EventsPerCPUSec: prev.EventsPerCPUSec,
+				CampaignSecs:    prev.CampaignSecs,
+			})
+		}
+	}
+	r.Trajectory = append(r.Trajectory, trajectoryPoint{
+		RecordedAt:      time.Now().UTC().Format(time.RFC3339),
+		Label:           runLabel,
+		SimEvents:       stats.Events,
+		ExecutedJobs:    stats.Executed,
+		EventsPerSec:    stats.EventsPerSecond(),
+		EventsPerCPUSec: stats.EventsPerCPUSecond(),
+		CampaignSecs:    stats.Elapsed.Seconds(),
+	})
+	if n := len(r.Trajectory); n > maxTrajectory {
+		r.Trajectory = r.Trajectory[n-maxTrajectory:]
+	}
+	// Atomic write: the trajectory is accumulated history; a truncating
+	// write interrupted mid-encode would destroy it.
+	return campaign.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(r)
+	})
+}
+
+func readBenchReport(path string) (benchReport, error) {
+	var r benchReport
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return r, err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(r); err != nil {
-		f.Close()
-		return err
+	err = json.Unmarshal(data, &r)
+	return r, err
+}
+
+// printBaselineDelta compares this run's throughput with a committed
+// baseline report, preferring the CPU-time metric when both sides have it
+// (wall-clock deltas on a shared CI machine mostly measure the neighbors).
+func printBaselineDelta(path string, stats campaign.Stats) {
+	base, err := readBenchReport(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spequlos-bench: baseline %s unreadable: %v\n", path, err)
+		return
 	}
-	return f.Close()
+	metric, cur, ref := "events/sec", stats.EventsPerSecond(), base.EventsPerSec
+	if stats.EventsPerCPUSecond() > 0 && base.EventsPerCPUSec > 0 {
+		metric, cur, ref = "events/cpu-sec", stats.EventsPerCPUSecond(), base.EventsPerCPUSec
+	}
+	if ref <= 0 {
+		fmt.Fprintf(os.Stderr, "spequlos-bench: baseline %s has no throughput record\n", path)
+		return
+	}
+	fmt.Printf("throughput vs baseline %s: %.0f %s vs %.0f (%+.1f%%)\n",
+		path, cur, metric, ref, 100*(cur/ref-1))
 }
 
 func figure2CSV(f experiments.Figure2) string {

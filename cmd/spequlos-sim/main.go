@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"spequlos/internal/campaign"
 	"spequlos/internal/core"
@@ -42,7 +43,7 @@ func main() {
 		tn        = flag.String("trace", "seti", "BE-DCI trace: seti nd g5klyo g5kgre spot10 spot100")
 		bc        = flag.String("bot", "SMALL", "BoT class: SMALL BIG RANDOM")
 		strategy  = flag.String("strategy", "9C-C-R", "strategy label, 'none' or 'all'")
-		profile   = flag.String("profile", "standard", "experiment profile: quick standard full")
+		profile   = flag.String("profile", "standard", "experiment profile: quick standard full stress")
 		offset    = flag.Int("offset", 0, "submission offset index (changes the seed)")
 		storePath = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
 		emulate   = flag.Bool("emulate", false, "also run each strategy cell through the deployable HTTP stack and report conformance")
@@ -112,7 +113,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	_, runErr := c.Run(ctx, store)
+	stats, runErr := c.Run(ctx, store)
 	if *storePath != "" {
 		if err := store.SaveFile(*storePath); err != nil {
 			fatal(err)
@@ -120,6 +121,11 @@ func main() {
 	}
 	if runErr != nil {
 		fatal(runErr)
+	}
+	if *verbose && stats.Executed > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d executed in %v, %.0f events/sec (%.0f events/cpu-sec)\n",
+			stats.Executed, stats.Elapsed.Round(time.Millisecond),
+			stats.EventsPerSecond(), stats.EventsPerCPUSecond())
 	}
 
 	base, ok := store.Result(baseJob)

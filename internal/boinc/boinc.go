@@ -57,6 +57,10 @@ type Server struct {
 	paused map[*middleware.Worker]*exec
 
 	reschedule bool
+
+	// barren is dispatch's per-round scratch memo of batches with no
+	// eligible work, reused across rounds to avoid per-tick allocation.
+	barren map[string]bool
 }
 
 type batch struct {
@@ -106,7 +110,7 @@ func (wu *workunit) cloudReplicas() int {
 type exec struct {
 	w      *middleware.Worker
 	wu     *workunit
-	doneEv *sim.Event
+	doneEv sim.Event
 	// settled is set when the server has accounted for this replica's
 	// outcome: either its result arrived or its deadline expired. It keeps
 	// the active-replica count exact when deadlines, late results, host
@@ -196,6 +200,7 @@ func New(eng *sim.Engine, cfg Config) *Server {
 		batches:  map[string]*batch{},
 		attached: map[*middleware.Worker]*workerState{},
 		idle:     middleware.NewIdleSet(),
+		barren:   map[string]bool{},
 		paused:   map[*middleware.Worker]*exec{},
 	}
 }
@@ -292,7 +297,8 @@ func (s *Server) dispatch() {
 		if !hasQueued && !wantCloudDup {
 			return
 		}
-		barren := map[string]bool{}
+		clear(s.barren)
+		barren := s.barren
 		w := s.idle.Pick(func(w *middleware.Worker) bool {
 			if barren[w.DedicatedBatch] {
 				return false

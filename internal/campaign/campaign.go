@@ -124,6 +124,10 @@ type Stats struct {
 	Cached   int           // jobs served from the store (resume)
 	Events   uint64        // simulation events executed by this run
 	Elapsed  time.Duration // wall clock of the run
+	// CPUSeconds is the process CPU time consumed during the run (0 when
+	// the platform cannot report it). On a machine running other work,
+	// events/CPU-second is the comparable throughput number.
+	CPUSeconds float64
 }
 
 // EventsPerSecond is the simulation throughput of the run.
@@ -132,6 +136,15 @@ func (s Stats) EventsPerSecond() float64 {
 		return 0
 	}
 	return float64(s.Events) / s.Elapsed.Seconds()
+}
+
+// EventsPerCPUSecond is the run's throughput per CPU second — robust to
+// wall-clock contention, 0 when CPU accounting is unavailable.
+func (s Stats) EventsPerCPUSecond() float64 {
+	if s.CPUSeconds <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.CPUSeconds
 }
 
 // Campaign executes a plan of unique jobs on a bounded worker pool and
@@ -162,6 +175,7 @@ func New(p Profile, jobs ...Job) *Campaign {
 // running it again with the same store.
 func (c *Campaign) Run(ctx context.Context, store *ResultStore) (Stats, error) {
 	start := time.Now()
+	cpuStart := ProcessCPUSeconds()
 	if c.Plan == nil {
 		c.Plan = NewPlan()
 	}
@@ -225,6 +239,9 @@ feed:
 	close(jobCh)
 	wg.Wait()
 	stats.Elapsed = time.Since(start)
+	if cpu := ProcessCPUSeconds(); cpu > cpuStart {
+		stats.CPUSeconds = cpu - cpuStart
+	}
 	return stats, ctx.Err()
 }
 

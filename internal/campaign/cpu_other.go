@@ -1,0 +1,7 @@
+//go:build !unix
+
+package campaign
+
+// ProcessCPUSeconds is unavailable on this platform; callers fall back to
+// wall-clock throughput.
+func ProcessCPUSeconds() float64 { return 0 }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package campaign
+
+import "syscall"
+
+// ProcessCPUSeconds returns the CPU time (user + system) consumed by the
+// process so far. Throughput measured against CPU time is robust to
+// wall-clock noise from co-scheduled work, which is what makes the perf
+// trajectory in BENCH_*.json comparable across runs and machines with
+// different background load.
+func ProcessCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return timevalSeconds(ru.Utime) + timevalSeconds(ru.Stime)
+}
+
+func timevalSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}

@@ -86,7 +86,7 @@ func executeOnce(j Job, horizon float64) Entry {
 	eng := sim.NewEngine()
 	srv := newServer(eng, sc.Middleware)
 
-	tr, err := sc.GenerateTrace(horizon)
+	tr, err := CachedTrace(sc, horizon)
 	if err != nil {
 		panic(err)
 	}

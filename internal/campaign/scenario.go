@@ -130,7 +130,20 @@ func Full() Profile {
 	}
 }
 
-// ProfileByName resolves quick/standard/full.
+// Stress returns the kernel stress profile: 10× the quick profile's worker
+// churn (pool cap 2500) over a 30-day horizon with quick-sized BoTs. It
+// exists to exercise the event kernel at BOINC-like host volumes (Anderson's
+// hundreds of thousands of hosts, scaled to one process) rather than to
+// reproduce a paper artifact; spequlos-bench records its throughput in
+// BENCH_stress.json alongside the quick trajectory.
+func Stress() Profile {
+	return Profile{
+		Name: "stress", BotScale: 0.04, Offsets: 1, PoolCap: 2500,
+		HorizonDays: 30, CreditFraction: 0.10,
+	}
+}
+
+// ProfileByName resolves quick/standard/full/stress.
 func ProfileByName(name string) (Profile, error) {
 	switch name {
 	case "quick":
@@ -139,6 +152,8 @@ func ProfileByName(name string) (Profile, error) {
 		return Standard(), nil
 	case "full":
 		return Full(), nil
+	case "stress":
+		return Stress(), nil
 	}
 	return Profile{}, fmt.Errorf("campaign: unknown profile %q", name)
 }

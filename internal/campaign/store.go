@@ -7,6 +7,7 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -121,17 +122,50 @@ func (s *ResultStore) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes the store to path, creating or truncating it.
+// SaveFile writes the store to path atomically: the JSON is written to a
+// temporary file in the same directory, synced, and renamed over path. An
+// interrupted save (Ctrl-C mid-write is the documented resume path, see
+// EXPERIMENTS.md) therefore never leaves a truncated store behind — readers
+// observe either the previous complete store or the new one.
 func (s *ResultStore) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return WriteFileAtomic(path, s.Save)
+}
+
+// WriteFileAtomic writes via a same-directory temp file and rename, so the
+// destination always holds a complete write. On failure the destination is
+// untouched and the temp file removed. The bench CLI shares it for the
+// trajectory-accumulating BENCH_*.json reports, whose history a truncating
+// write could destroy.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := s.Save(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	// Match the permissions os.Create would have used (CreateTemp is 0600).
+	if err := f.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFileIfExists reads a store previously written by SaveFile, returning

@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func storeWithEntry(key string) *ResultStore {
+	s := NewResultStore()
+	s.Put(Entry{Key: key, Profile: "quick", Result: Result{Middleware: "BOINC", Size: 3}})
+	return s
+}
+
+// An interrupted save must never expose a partial write: the destination
+// keeps its previous complete content and no temp file survives.
+func TestSaveFileAtomicPartialWriteNeverVisible(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	if err := storeWithEntry("old").SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("interrupted mid-write")
+	err = WriteFileAtomic(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, `{"version":1,"entr`); werr != nil {
+			return werr
+		}
+		return boom // the crash, mid-encode
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("writeFileAtomic err = %v, want the injected failure", err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatalf("destination changed after failed save:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if loaded, lerr := LoadFile(path); lerr != nil || loaded.Len() != 1 {
+		t.Fatalf("store unreadable after failed save: %v (len %d)", lerr, loaded.Len())
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestSaveFileReplacesPreviousStore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	if err := storeWithEntry("old").SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := storeWithEntry("new").SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("new"); !ok || s.Len() != 1 {
+		t.Fatalf("store not replaced: %d entries", s.Len())
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("store permissions = %v, want 0644", info.Mode().Perm())
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// Concurrent readers racing a sequence of saves must always load a complete
+// store — never a truncated or half-renamed one.
+func TestSaveFileConcurrentReadersSeeCompleteStores(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	if err := storeWithEntry("gen-0").SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s, err := LoadFile(path)
+			if err != nil {
+				t.Errorf("reader saw broken store: %v", err)
+				return
+			}
+			if s.Len() != 1 {
+				t.Errorf("reader saw %d entries, want 1", s.Len())
+				return
+			}
+		}
+	}()
+	for i := 1; i <= 50; i++ {
+		if err := storeWithEntry(fmt.Sprintf("gen-%d", i)).SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}

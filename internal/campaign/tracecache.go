@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"sync"
+
+	"spequlos/internal/trace"
+)
+
+// Availability traces are a pure function of (source, seed, horizon, pool)
+// and dominate simulation cost: synthesizing one draws millions of quantile
+// samples (math.Pow is ~half the campaign's CPU), yet every strategy variant
+// of the same (middleware, trace, bot, offset) cell needs the identical
+// trace — the paper's paired comparison reuses one seed across the baseline
+// and all 18 strategy combinations. The cache generates each distinct trace
+// once and shares the immutable result across jobs and workers.
+//
+// Traces are never mutated after generation (the binding and the statistics
+// layer only read them), so sharing a *trace.Trace across concurrent
+// simulations is safe.
+
+// traceKey identifies one deterministic generation.
+type traceKey struct {
+	name    string
+	seed    uint64
+	horizon float64
+	pool    int
+}
+
+// traceCacheEntry carries a generation-in-progress or its result; ready is
+// closed once tr is set, so concurrent requests for the same trace wait for
+// one generation instead of duplicating it.
+type traceCacheEntry struct {
+	ready chan struct{}
+	tr    *trace.Trace
+}
+
+// traceCache is a bounded, concurrency-safe, single-flight trace cache.
+type traceCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[traceKey]*traceCacheEntry
+	order   []traceKey // FIFO eviction order
+}
+
+// defaultTraceCacheSize bounds resident traces. The quick matrix needs 72
+// distinct traces (2 middleware × 6 traces × 3 bots × 2 offsets) of ~250
+// nodes; paper-scale traces are larger, so the bound keeps the cache within
+// a few hundred MB in the worst case while still absorbing the ~19×
+// per-cell reuse (jobs of one cell are planned adjacently).
+const defaultTraceCacheSize = 96
+
+// sharedTraceCache serves every campaign in the process.
+var sharedTraceCache = newTraceCache(defaultTraceCacheSize)
+
+func newTraceCache(max int) *traceCache {
+	return &traceCache{max: max, entries: map[traceKey]*traceCacheEntry{}}
+}
+
+// get returns the cached trace for the scenario, generating it (once,
+// whatever the concurrency) on a miss.
+func (c *traceCache) get(sc Scenario, horizon float64) (*trace.Trace, error) {
+	key := traceKey{name: sc.TraceName, seed: sc.Seed(), horizon: horizon, pool: sc.Profile.PoolCap}
+
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &traceCacheEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		if len(c.order) > c.max {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+		c.mu.Unlock()
+
+		tr, err := sc.GenerateTrace(horizon)
+		if err != nil {
+			// Drop the entry so a later request does not wait forever on a
+			// generation that never happened; then fail this caller.
+			c.mu.Lock()
+			if cur, still := c.entries[key]; still && cur == e {
+				delete(c.entries, key)
+				for i, k := range c.order {
+					if k == key {
+						c.order = append(c.order[:i], c.order[i+1:]...)
+						break
+					}
+				}
+			}
+			c.mu.Unlock()
+			close(e.ready)
+			return nil, err
+		}
+		e.tr = tr
+		close(e.ready)
+		return tr, nil
+	}
+	c.mu.Unlock()
+
+	<-e.ready
+	if e.tr == nil {
+		// The generation this entry tracked failed; regenerate directly.
+		return sc.GenerateTrace(horizon)
+	}
+	return e.tr, nil
+}
+
+// CachedTrace returns the scenario's availability trace through the shared
+// process-wide cache. The returned trace is shared and must be treated as
+// immutable.
+func CachedTrace(sc Scenario, horizon float64) (*trace.Trace, error) {
+	return sharedTraceCache.get(sc, horizon)
+}

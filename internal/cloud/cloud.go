@@ -67,7 +67,7 @@ type Instance struct {
 	StoppedAt float64 // -1 while running
 
 	target middleware.Server
-	bootEv *sim.Event
+	bootEv sim.Event
 }
 
 // Running reports whether the instance has not been stopped.

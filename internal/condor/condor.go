@@ -56,6 +56,10 @@ type Server struct {
 	idle     *middleware.IdleSet
 
 	reschedule bool
+
+	// barren is dispatch's per-round scratch memo of batches with no
+	// eligible work, reused across rounds to avoid per-tick allocation.
+	barren map[string]bool
 }
 
 type batch struct {
@@ -94,7 +98,7 @@ func (t *ctask) cloudDups() int {
 
 type exec struct {
 	w      *middleware.Worker
-	doneEv *sim.Event
+	doneEv sim.Event
 	// startedAt and startRemaining let the checkpoint logic compute the
 	// preserved progress when the machine is lost.
 	startedAt      float64
@@ -149,6 +153,7 @@ func New(eng *sim.Engine, cfg Config) *Server {
 		batches:  map[string]*batch{},
 		attached: map[*middleware.Worker]*workerState{},
 		idle:     middleware.NewIdleSet(),
+		barren:   map[string]bool{},
 	}
 }
 
@@ -246,7 +251,8 @@ func (s *Server) dispatch() {
 		if !hasQueued && !wantCloudDup {
 			return
 		}
-		barren := map[string]bool{}
+		clear(s.barren)
+		barren := s.barren
 		w := s.idle.Pick(func(w *middleware.Worker) bool {
 			if barren[w.DedicatedBatch] {
 				return false

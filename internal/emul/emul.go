@@ -104,7 +104,7 @@ func runOnce(sc campaign.Scenario, horizon float64) (Outcome, error) {
 	if err != nil {
 		return o, err
 	}
-	tr, err := sc.GenerateTrace(horizon)
+	tr, err := campaign.CachedTrace(sc, horizon)
 	if err != nil {
 		return o, err
 	}

@@ -54,7 +54,11 @@ func Standard() Profile { return campaign.Standard() }
 // Full returns the paper-scale profile.
 func Full() Profile { return campaign.Full() }
 
-// ProfileByName resolves quick/standard/full.
+// Stress returns the kernel stress profile (10× quick churn, 30-day
+// horizon); see campaign.Stress.
+func Stress() Profile { return campaign.Stress() }
+
+// ProfileByName resolves quick/standard/full/stress.
 func ProfileByName(name string) (Profile, error) { return campaign.ProfileByName(name) }
 
 // Scenario is one simulation to run.

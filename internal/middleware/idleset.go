@@ -3,19 +3,39 @@ package middleware
 // IdleSet tracks workers waiting for work with O(1) add/remove (swap
 // removal), which matters under trace-driven churn where thousands of idle
 // workers join and leave per simulated hour.
+//
+// The set counts idle cloud workers from its own membership state: a
+// worker's Cloud flag is recorded when it is added and that recorded flag —
+// not the flag at removal time — drives the counter. A caller mutating
+// w.Cloud between Add and Remove (historically possible through test
+// drivers and mock servers) therefore cannot drift CloudCount; in the
+// simulators cloud-ness is a construction-time identity and never changes
+// while a worker is idle.
 type IdleSet struct {
 	list  []*Worker
-	pos   map[*Worker]int
+	pos   map[*Worker]idlePos
 	cloud int
+	// scratch backs Each's iteration snapshot between calls so the churn
+	// hot path stops allocating one slice per scan.
+	scratch []*Worker
+	eaching bool
+}
+
+// idlePos is the membership record: list index plus the Cloud flag observed
+// at Add time.
+type idlePos struct {
+	idx   int
+	cloud bool
 }
 
 // NewIdleSet returns an empty set.
-func NewIdleSet() *IdleSet { return &IdleSet{pos: map[*Worker]int{}} }
+func NewIdleSet() *IdleSet { return &IdleSet{pos: map[*Worker]idlePos{}} }
 
 // Len returns the number of idle workers.
 func (s *IdleSet) Len() int { return len(s.list) }
 
-// CloudCount returns the number of idle cloud workers.
+// CloudCount returns the number of idle cloud workers, derived from the
+// membership records.
 func (s *IdleSet) CloudCount() int { return s.cloud }
 
 // Contains reports membership.
@@ -29,35 +49,40 @@ func (s *IdleSet) Add(w *Worker) {
 	if _, ok := s.pos[w]; ok {
 		return
 	}
-	s.pos[w] = len(s.list)
+	s.pos[w] = idlePos{idx: len(s.list), cloud: w.Cloud}
 	s.list = append(s.list, w)
 	if w.Cloud {
 		s.cloud++
 	}
 }
 
-// Remove deletes a worker, reporting whether it was present.
+// Remove deletes a worker, reporting whether it was present. The cloud
+// counter is adjusted by the flag recorded at Add, so the counter stays
+// consistent with the remaining membership even if w.Cloud changed while
+// the worker was away from the set.
 func (s *IdleSet) Remove(w *Worker) bool {
-	i, ok := s.pos[w]
+	p, ok := s.pos[w]
 	if !ok {
 		return false
 	}
 	last := len(s.list) - 1
-	if i != last {
-		s.list[i] = s.list[last]
-		s.pos[s.list[i]] = i
+	if p.idx != last {
+		moved := s.list[last]
+		s.list[p.idx] = moved
+		mp := s.pos[moved]
+		mp.idx = p.idx
+		s.pos[moved] = mp
 	}
 	s.list = s.list[:last]
 	delete(s.pos, w)
-	if w.Cloud {
+	if p.cloud {
 		s.cloud--
 	}
 	return true
 }
 
 // Pick returns the first worker (in arbitrary order) accepted by match and
-// removes it. It returns nil when none matches. skipBatch lets callers
-// memoize batches already known to have no eligible work this round.
+// removes it. It returns nil when none matches.
 func (s *IdleSet) Pick(match func(*Worker) bool) *Worker {
 	for i := len(s.list) - 1; i >= 0; i-- {
 		w := s.list[i]
@@ -69,12 +94,29 @@ func (s *IdleSet) Pick(match func(*Worker) bool) *Worker {
 	return nil
 }
 
-// Each iterates over a snapshot of the idle workers.
+// Each iterates over a snapshot of the idle workers, so fn may Add/Remove
+// freely. The snapshot buffer is reused across calls (with an allocation
+// fallback for re-entrant iteration).
 func (s *IdleSet) Each(fn func(*Worker) bool) {
-	snapshot := append([]*Worker(nil), s.list...)
+	var snapshot []*Worker
+	reused := false
+	if !s.eaching {
+		s.eaching = true
+		reused = true
+		snapshot = append(s.scratch[:0], s.list...)
+	} else {
+		snapshot = append([]*Worker(nil), s.list...)
+	}
 	for _, w := range snapshot {
 		if !fn(w) {
-			return
+			break
 		}
+	}
+	if reused {
+		for i := range snapshot {
+			snapshot[i] = nil // release references held past the scan
+		}
+		s.scratch = snapshot[:0]
+		s.eaching = false
 	}
 }

@@ -6,10 +6,17 @@
 // workers, the SpeQuloS monitor loop) are driven by a single Engine. Events
 // scheduled at the same instant fire in scheduling order, which makes every
 // run reproducible given the same seed.
+//
+// The kernel is allocation-free on its hot path: events live in an
+// index-addressed arena recycled through a freelist, the priority queue is a
+// specialized binary heap of arena indices (no interface boxing), and the
+// Event handles returned to callers are small values carrying a generation
+// counter, so a handle to a fired-and-recycled slot can never cancel the
+// slot's next occupant.
 package sim
 
 import (
-	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -17,48 +24,47 @@ import (
 // Time is virtual time in seconds since the start of the simulation.
 type Time = float64
 
-// Event is a scheduled callback. It is returned by the scheduling methods
-// so callers can cancel it before it fires.
+// ErrInvalidTime reports scheduling at NaN or ±Inf.
+var ErrInvalidTime = errors.New("sim: invalid event time")
+
+// ErrPastTime reports scheduling before the current virtual time. The event
+// is still created, clamped to fire at the current time (in FIFO order after
+// events already scheduled for it), so simulations never observe a clock
+// moving backwards or events firing out of order.
+var ErrPastTime = errors.New("sim: event time before current virtual time")
+
+// Event is a cancellable handle to a scheduled callback. It is a small
+// value: copies are cheap and the zero value is a valid "no event" handle
+// (not pending, cancelling it is a no-op).
 type Event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int // heap index; -1 once fired or cancelled
+	eng *Engine
+	at  Time
+	idx int32
+	gen uint32
 }
 
-// At returns the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// At returns the virtual time the event was scheduled for (after any
+// past-time clamping). It stays readable after the event fires.
+func (e Event) At() Time { return e.at }
 
 // Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e Event) Pending() bool {
+	if e.eng == nil || int(e.idx) >= len(e.eng.slots) {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	s := &e.eng.slots[e.idx]
+	return s.gen == e.gen && s.heapIdx >= 0
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// slot is one arena cell. A slot is live while heapIdx >= 0; firing or
+// cancelling bumps gen and returns the slot to the freelist, invalidating
+// every outstanding handle to the previous occupant.
+type slot struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	heapIdx int32
+	gen     uint32
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
@@ -66,8 +72,12 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now      Time
 	seq      uint64
-	queue    eventHeap
 	executed uint64
+	clamped  uint64
+
+	slots []slot
+	free  []int32
+	heap  []int32 // arena indices ordered by (at, seq)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -79,53 +89,121 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events fired so far (useful in benchmarks).
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Clamped returns the number of events whose requested time lay in the past
+// and was clamped to the then-current virtual time.
+func (e *Engine) Clamped() uint64 { return e.clamped }
 
-// At schedules fn at absolute virtual time t. Scheduling in the past panics:
-// it is always a simulation bug.
-func (e *Engine) At(t Time, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %.3f before now %.3f", t, e.now))
-	}
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// ScheduleAt schedules fn at absolute virtual time t, validating the time.
+// NaN/±Inf returns ErrInvalidTime and no event. A time before the current
+// virtual time returns ErrPastTime together with a valid event clamped to
+// fire at the current time — callers that treat past scheduling as a bug can
+// check the error; callers that expect clamping may ignore it.
+func (e *Engine) ScheduleAt(t Time, fn func()) (Event, error) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
-		panic(fmt.Sprintf("sim: scheduling event at invalid time %v", t))
+		return Event{}, fmt.Errorf("%w: %v", ErrInvalidTime, t)
 	}
-	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
+	var err error
+	if t < e.now {
+		err = fmt.Errorf("%w: %.6g before now %.6g", ErrPastTime, t, e.now)
+		t = e.now
+		e.clamped++
+	}
+	return e.push(t, fn), err
+}
+
+// At schedules fn at absolute virtual time t. Times in the past are clamped
+// to the current virtual time (counted by Clamped); invalid times panic.
+func (e *Engine) At(t Time, fn func()) Event {
+	ev, err := e.ScheduleAt(t, fn)
+	if err != nil && errors.Is(err, ErrInvalidTime) {
+		panic(err.Error())
+	}
 	return ev
 }
 
-// After schedules fn d seconds from now. Negative delays are clamped to 0.
-func (e *Engine) After(d float64, fn func()) *Event {
+// After schedules fn d seconds from now. Negative delays are clamped to 0
+// (counted by Clamped); NaN and infinite delays panic.
+func (e *Engine) After(d float64, fn func()) Event {
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		panic(fmt.Sprintf("sim: scheduling event with invalid delay %v", d))
+	}
 	if d < 0 {
+		e.clamped++
 		d = 0
 	}
-	return e.At(e.now+d, fn)
+	return e.push(e.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling a fired or already-cancelled
-// event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// push allocates a slot (reusing the freelist) and inserts it in the heap.
+func (e *Engine) push(t Time, fn func()) Event {
+	e.seq++
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		idx = int32(len(e.slots))
+		e.slots = append(e.slots, slot{})
+	}
+	s := &e.slots[idx]
+	s.at = t
+	s.seq = e.seq
+	s.fn = fn
+	s.heapIdx = int32(len(e.heap))
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+	return Event{eng: e, at: t, idx: idx, gen: s.gen}
+}
+
+// Cancel removes a pending event. Cancelling a fired, already-cancelled or
+// zero-value event is a no-op; so is cancelling through a stale handle whose
+// slot has been recycled for a newer event.
+func (e *Engine) Cancel(ev Event) {
+	if ev.eng != e || e == nil || int(ev.idx) >= len(e.slots) {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
-	ev.fn = nil
+	s := &e.slots[ev.idx]
+	if s.gen != ev.gen || s.heapIdx < 0 {
+		return
+	}
+	e.heapRemove(int(s.heapIdx))
+	e.release(ev.idx)
+}
+
+// release recycles a slot: the generation bump invalidates old handles.
+func (e *Engine) release(idx int32) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.heapIdx = -1
+	s.gen++
+	e.free = append(e.free, idx)
 }
 
 // Step fires the earliest event and advances the clock to it. It returns
 // false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
+	idx := e.heap[0]
+	n := len(e.heap) - 1
+	if n > 0 {
+		e.heap[0] = e.heap[n]
+		e.slots[e.heap[0]].heapIdx = 0
+	}
+	e.heap = e.heap[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	s := &e.slots[idx]
+	e.now = s.at
+	fn := s.fn
+	// Recycle before invoking: fn may immediately schedule into this slot;
+	// the generation bump keeps handles to the fired event invalid.
+	e.release(idx)
 	e.executed++
 	fn()
 	return true
@@ -140,7 +218,7 @@ func (e *Engine) Run() {
 // RunUntil fires events with time ≤ t, then sets the clock to t. Events
 // scheduled exactly at t do fire.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.queue) > 0 && e.queue[0].at <= t {
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -154,13 +232,74 @@ func (e *Engine) RunWhile(cond func() bool) {
 	}
 }
 
+// less orders heap entries by (time, scheduling sequence): same-instant
+// events fire in FIFO order, which the determinism guarantees rely on.
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		e.slots[h[i]].heapIdx = int32(i)
+		e.slots[h[parent]].heapIdx = int32(parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && e.less(h[right], h[left]) {
+			least = right
+		}
+		if !e.less(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		e.slots[h[i]].heapIdx = int32(i)
+		e.slots[h[least]].heapIdx = int32(least)
+		i = least
+	}
+}
+
+// heapRemove deletes the heap entry at position i.
+func (e *Engine) heapRemove(i int) {
+	n := len(e.heap) - 1
+	if i != n {
+		moved := e.heap[n]
+		e.heap[i] = moved
+		e.slots[moved].heapIdx = int32(i)
+	}
+	e.heap = e.heap[:n]
+	if i < n {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
 // Ticker invokes a callback at a fixed period until stopped. The callback
 // may stop the ticker from within itself.
 type Ticker struct {
 	engine *Engine
 	period float64
 	fn     func(Time)
-	ev     *Event
+	ev     Event
 	done   bool
 }
 

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -59,7 +61,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var got []float64
-	evs := make([]*Event, 0, 100)
+	evs := make([]Event, 0, 100)
 	for i := 0; i < 100; i++ {
 		at := float64((i * 37) % 100)
 		evs = append(evs, e.At(at, func() { got = append(got, at) }))
@@ -90,16 +92,65 @@ func TestEngineSchedulingInsideEvents(t *testing.T) {
 	}
 }
 
-func TestEnginePastSchedulingPanics(t *testing.T) {
+// Regression test for the past-scheduling fix: events requested before the
+// current virtual time are clamped to now, fire in FIFO order after events
+// already scheduled at now, never move the clock backwards, and the
+// validating method reports the problem as an error.
+func TestEnginePastSchedulingClampsToNow(t *testing.T) {
 	e := NewEngine()
-	e.At(10, func() {})
+	var got []string
+	e.At(10, func() {
+		e.At(10, func() { got = append(got, "present") })
+		ev, err := e.ScheduleAt(5, func() { got = append(got, "past") })
+		if !errors.Is(err, ErrPastTime) {
+			t.Errorf("ScheduleAt(5) err = %v, want ErrPastTime", err)
+		}
+		if ev.At() != 10 {
+			t.Errorf("clamped event time = %v, want 10", ev.At())
+		}
+		if !ev.Pending() {
+			t.Error("clamped event not pending")
+		}
+	})
 	e.Run()
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want 10 (must not move backwards)", e.Now())
+	}
+	if len(got) != 2 || got[0] != "present" || got[1] != "past" {
+		t.Fatalf("firing order = %v, want [present past] (FIFO at clamped time)", got)
+	}
+	if e.Clamped() != 1 {
+		t.Fatalf("Clamped() = %d, want 1", e.Clamped())
+	}
+}
+
+func TestEngineAtPastDoesNotPanicAndStaysOrdered(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.At(3, func() {
+		e.At(1, func() { times = append(times, e.Now()) }) // past: clamps to 3
+		e.At(4, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 3 || times[1] != 4 {
+		t.Fatalf("fired at %v, want [3 4]", times)
+	}
+}
+
+func TestEngineInvalidTime(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ScheduleAt(math.NaN(), func() {}); !errors.Is(err, ErrInvalidTime) {
+		t.Fatalf("ScheduleAt(NaN) err = %v, want ErrInvalidTime", err)
+	}
+	if _, err := e.ScheduleAt(math.Inf(1), func() {}); !errors.Is(err, ErrInvalidTime) {
+		t.Fatalf("ScheduleAt(+Inf) err = %v, want ErrInvalidTime", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("scheduling in the past did not panic")
+			t.Fatal("At(NaN) did not panic")
 		}
 	}()
-	e.At(5, func() {})
+	e.At(math.NaN(), func() {})
 }
 
 func TestRunUntil(t *testing.T) {
@@ -193,7 +244,7 @@ func TestEventCancelProperty(t *testing.T) {
 		e := NewEngine()
 		r := rand.New(rand.NewSource(seed))
 		var got []float64
-		evs := make([]*Event, len(times))
+		evs := make([]Event, len(times))
 		for i, v := range times {
 			at := float64(v)
 			evs[i] = e.At(at, func() { got = append(got, at) })
@@ -264,6 +315,103 @@ func TestSeedFrom(t *testing.T) {
 	}
 	if SeedFrom("x") != SeedFrom("x") {
 		t.Fatal("SeedFrom not deterministic")
+	}
+}
+
+// Pooled-arena safety: a handle to a cancelled event whose slot has been
+// recycled for a newer event must not cancel (or report pending for) the
+// slot's new occupant.
+func TestPooledSlotReuseAfterCancel(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(5, func() { t.Error("cancelled event fired") })
+	e.Cancel(stale)
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after cancel, want 0", e.Pending())
+	}
+	fired := false
+	fresh := e.At(7, func() { fired = true }) // reuses the freed slot
+	if fresh.idx != stale.idx {
+		t.Fatalf("slot not recycled: fresh idx %d, stale idx %d", fresh.idx, stale.idx)
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending after slot reuse")
+	}
+	e.Cancel(stale) // must NOT cancel the new occupant
+	e.Cancel(stale)
+	if !fresh.Pending() {
+		t.Fatal("stale cancel killed the recycled slot's new event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+// Pooled-arena safety: a handle to a fired event is likewise invalidated.
+func TestPooledSlotReuseAfterFire(t *testing.T) {
+	e := NewEngine()
+	var first Event
+	first = e.At(1, func() {
+		// The firing slot is recycled before the callback runs; scheduling
+		// here lands in the same arena slot with a bumped generation.
+		next := e.At(2, func() {})
+		if next.idx != first.idx {
+			t.Errorf("slot not recycled inside callback: %d vs %d", next.idx, first.idx)
+		}
+		e.Cancel(first) // stale: must not touch next
+		if !next.Pending() {
+			t.Error("stale cancel of fired event killed its slot's new event")
+		}
+	})
+	e.Run()
+	if e.Executed() != 2 {
+		t.Fatalf("executed = %d, want 2", e.Executed())
+	}
+}
+
+// Same-tick FIFO ordering must survive slot recycling: events scheduled at
+// one instant through recycled slots still fire in scheduling order.
+func TestSameTickOrderingAcrossRecycledSlots(t *testing.T) {
+	e := NewEngine()
+	// Create and cancel a batch to build a shuffled freelist.
+	evs := make([]Event, 8)
+	for i := range evs {
+		evs[i] = e.At(1, func() {})
+	}
+	for _, i := range []int{3, 0, 7, 5, 1, 6, 2, 4} {
+		e.Cancel(evs[i])
+	}
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.At(2, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-tick order broken across recycled slots: %v", got)
+		}
+	}
+}
+
+// The kernel itself must not allocate per event in steady state: slots and
+// heap space are recycled. (The closure passed in is the caller's.)
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm up the arena.
+	for i := 0; i < 64; i++ {
+		e.After(1, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.After(1, fn)
+		}
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("engine allocates %.1f objects per 64-event batch in steady state, want 0", allocs)
 	}
 }
 

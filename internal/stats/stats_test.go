@@ -8,6 +8,40 @@ import (
 	"testing/quick"
 )
 
+// The sampler must be a bit-identical fast path: any ULP drift would change
+// every synthesized trace and, through it, every golden artifact.
+func TestQuartileSamplerBitIdentical(t *testing.T) {
+	dists := []QuartileDist{
+		MustQuartileDist(30, 120, 1500, 1, 8),
+		MustQuartileDist(5, 5, 5, 5, 1), // degenerate segments
+		MustQuartileDist(0.1, 2.5, 7.25, 0.1, 3.5),
+	}
+	for _, d := range dists {
+		s := d.Sampler()
+		for i := -2; i <= 1002; i++ {
+			u := float64(i) / 1000
+			if got, want := s.Quantile(u), d.Quantile(u); got != want {
+				t.Fatalf("%v: sampler.Quantile(%g) = %v, dist gives %v", d, u, got, want)
+			}
+		}
+	}
+}
+
+// Batched draws must consume the RNG exactly like one-at-a-time draws.
+func TestQuartileSamplerSampleNStream(t *testing.T) {
+	d := MustQuartileDist(30, 120, 1500, 1, 8)
+	s := d.Sampler()
+	ra := rand.New(rand.NewPCG(7, 11))
+	rb := rand.New(rand.NewPCG(7, 11))
+	batch := make([]float64, 257)
+	s.SampleN(ra, batch)
+	for i, v := range batch {
+		if want := d.Sample(rb); v != want {
+			t.Fatalf("batched draw %d = %v, sequential gives %v", i, v, want)
+		}
+	}
+}
+
 func newRand(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed+1)) }
 
 func sample(d Dist, n int, seed uint64) []float64 {

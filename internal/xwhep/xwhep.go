@@ -48,6 +48,10 @@ type Server struct {
 	idle     *middleware.IdleSet
 
 	reschedule bool
+
+	// barren is dispatch's per-round scratch memo of batches with no
+	// eligible work, reused across rounds to avoid per-tick allocation.
+	barren map[string]bool
 }
 
 type batch struct {
@@ -86,7 +90,7 @@ func (t *xtask) cloudDups() int {
 
 type exec struct {
 	w      *middleware.Worker
-	doneEv *sim.Event
+	doneEv sim.Event
 	dead   bool // worker left; awaiting timeout detection
 }
 
@@ -149,6 +153,7 @@ func New(eng *sim.Engine, cfg Config) *Server {
 		batches:  map[string]*batch{},
 		attached: map[*middleware.Worker]*workerState{},
 		idle:     middleware.NewIdleSet(),
+		barren:   map[string]bool{},
 	}
 }
 
@@ -238,7 +243,8 @@ func (s *Server) dispatch() {
 		}
 		// Memoize batches found to have no eligible work this round so a
 		// fleet of same-batch cloud workers costs one scan, not N.
-		barren := map[string]bool{}
+		clear(s.barren)
+		barren := s.barren
 		w := s.idle.Pick(func(w *middleware.Worker) bool {
 			if barren[w.DedicatedBatch] {
 				return false

@@ -1,0 +1,7 @@
+//go:build race
+
+package spequlos
+
+// raceDetectorEnabled reports that this binary was built with -race: the
+// detector slows CPU-bound code by 2–20×, so throughput floors must not run.
+const raceDetectorEnabled = true
