@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		profile    = flag.String("profile", "standard", "experiment profile: quick standard full stress")
+		profile    = flag.String("profile", "standard", "experiment profile: quick standard full stress crowd")
 		out        = flag.String("out", "results", "output directory")
 		strats     = flag.String("strategies", "all", "comma-separated strategy labels for the sweep, or 'all'")
 		storePath  = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
@@ -62,6 +62,20 @@ func main() {
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
+	}
+
+	// Multi-batch profiles (crowd) run the concurrency campaign instead of
+	// the paper artifact matrix: per middleware, hundreds of QoS batches
+	// share one trace (default strategy + paired baseline), and the report
+	// measures per-user fairness and the service's poll economy. The
+	// matrix-shaping flags do not apply there; reject non-default values
+	// instead of silently mislabeling a sweep the campaign never ran.
+	if p.Batches > 1 {
+		if *strats != "all" || *ablations || *comparison {
+			fatal(fmt.Errorf("-strategies/-ablations/-comparison do not apply to the %s profile (it runs the default strategy against its paired baseline)", p.Name))
+		}
+		runCrowd(p, *out, *storePath, *verbose, *benchJSON, *benchLabel, *baseline)
+		return
 	}
 
 	var strategies []core.Strategy
@@ -211,6 +225,66 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("all artifacts written to %s/ in %v\n", *out, time.Since(start).Round(time.Second))
+}
+
+// runCrowd executes the crowd campaign and writes crowd.txt plus the
+// BENCH_crowd.json perf record (with the same trajectory accumulation as
+// the artifact profiles).
+func runCrowd(p experiments.Profile, out, storePath string, verbose bool,
+	benchJSON, benchLabel, baseline string) {
+	opts := experiments.ArtifactOptions{Store: campaign.NewResultStore()}
+	if storePath != "" {
+		store, loaded, err := campaign.LoadFileIfExists(storePath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = store
+		if loaded {
+			fmt.Printf("resuming from %s (%d stored results)\n", storePath, store.Len())
+		}
+	}
+	if verbose {
+		opts.Progress = campaign.LogProgress(os.Stderr)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	fmt.Printf("running %s campaign: %d unique simulation jobs × %d concurrent batches…\n",
+		p.Name, experiments.PlanCrowd(p).Len(), p.Batches)
+	rep, stats, err := experiments.BuildCrowd(ctx, p, opts)
+	if storePath != "" {
+		if serr := opts.Store.SaveFile(storePath); serr != nil {
+			fatal(serr)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("campaign done in %v: %d executed, %d cached, %.0f events/sec (%.0f events/cpu-sec)\n",
+		stats.Elapsed.Round(time.Millisecond), stats.Executed, stats.Cached,
+		stats.EventsPerSecond(), stats.EventsPerCPUSecond())
+
+	text := rep.Render()
+	if err := os.WriteFile(filepath.Join(out, "crowd.txt"), []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println(text)
+
+	reportPath := benchJSON
+	if reportPath == "" {
+		reportPath = filepath.Join(out, "BENCH_"+p.Name+".json")
+	}
+	if baseline != "" {
+		printBaselineDelta(baseline, stats)
+	}
+	a := experiments.Artifacts{Profile: p}
+	a.Timings = append(a.Timings, experiments.ArtifactTiming{Name: "crowd", Elapsed: stats.Elapsed})
+	if err := writeBenchReport(reportPath, p, core.DefaultStrategy().Label(), benchLabel,
+		stats, a, time.Since(start)); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("crowd artifacts written to %s/ in %v\n", out, time.Since(start).Round(time.Millisecond))
 }
 
 // benchReport is the machine-readable perf record of one artifact run. The

@@ -35,6 +35,7 @@ import (
 	"spequlos/internal/core"
 	"spequlos/internal/emul"
 	"spequlos/internal/experiments"
+	"spequlos/internal/stats"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func main() {
 		tn        = flag.String("trace", "seti", "BE-DCI trace: seti nd g5klyo g5kgre spot10 spot100")
 		bc        = flag.String("bot", "SMALL", "BoT class: SMALL BIG RANDOM")
 		strategy  = flag.String("strategy", "9C-C-R", "strategy label, 'none' or 'all'")
-		profile   = flag.String("profile", "standard", "experiment profile: quick standard full stress")
+		profile   = flag.String("profile", "standard", "experiment profile: quick standard full stress crowd (crowd cells interleave hundreds of QoS batches)")
 		offset    = flag.Int("offset", 0, "submission offset index (changes the seed)")
 		storePath = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
 		emulate   = flag.Bool("emulate", false, "also run each strategy cell through the deployable HTTP stack and report conformance")
@@ -169,6 +170,12 @@ func main() {
 
 func report(label string, r experiments.Result) {
 	fmt.Printf("[%s] %s/%s/%s seed=%d\n", label, r.Middleware, r.TraceName, r.BotClass, r.Seed)
+	if len(r.Batches) > 0 {
+		// A multi-batch cell reports its per-batch spread even when some
+		// batches missed the horizon — the partial view is the point.
+		reportCrowd(r)
+		return
+	}
 	if !r.Completed {
 		fmt.Println("  did not complete within the horizon")
 		return
@@ -179,6 +186,31 @@ func report(label string, r experiments.Result) {
 	if r.Strategy != "" {
 		fmt.Printf("  cloud: %d instances, %.0f cpu·s, credits %.1f/%.1f (triggered at %.0fs)\n",
 			r.Instances, r.CloudCPUSeconds, r.CreditsBilled, r.CreditsAllocated, r.TriggeredAt)
+	}
+}
+
+// reportCrowd summarizes a multi-batch cell: per-batch completion spread
+// and aggregate cloud accounting.
+func reportCrowd(r experiments.Result) {
+	completed, triggered := 0, 0
+	var times []float64
+	for _, br := range r.Batches {
+		if br.Completed {
+			completed++
+			times = append(times, br.CompletionTime)
+		}
+		if br.TriggeredAt >= 0 {
+			triggered++
+		}
+	}
+	q := func(f float64) float64 { return stats.NearestRank(times, f) }
+	fmt.Printf("  crowd: %d batches (%d completed, %d triggered), %d tasks, makespan %.0fs\n",
+		len(r.Batches), completed, triggered, r.Size, r.CompletionTime)
+	fmt.Printf("  per-batch completion: median %.0fs, p90 %.0fs, max %.0fs\n",
+		q(0.5), q(0.9), q(1))
+	if r.Strategy != "" {
+		fmt.Printf("  cloud: %d instances, credits %.1f/%.1f\n",
+			r.Instances, r.CreditsBilled, r.CreditsAllocated)
 	}
 }
 

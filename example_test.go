@@ -1,0 +1,54 @@
+package spequlos_test
+
+import (
+	"context"
+	"fmt"
+
+	"spequlos"
+)
+
+// ExampleRunCampaign plans a paired baseline + SpeQuloS comparison as one
+// campaign: both jobs share a seed, execute exactly once on the worker
+// pool, and land in the same result store.
+func ExampleRunCampaign() {
+	base := spequlos.Scenario{
+		Profile: spequlos.QuickProfile(), Middleware: "XWHEP",
+		TraceName: "seti", BotClass: "SMALL",
+	}
+	st := spequlos.DefaultStrategy()
+	speq := base
+	speq.Strategy = &st
+
+	c := spequlos.NewCampaign(base.Profile,
+		spequlos.CampaignJob{Scenario: base},
+		spequlos.CampaignJob{Scenario: speq},
+	)
+	store := spequlos.NewResultStore()
+	stats, err := spequlos.RunCampaign(context.Background(), c, store)
+	if err != nil {
+		fmt.Println("campaign failed:", err)
+		return
+	}
+	fmt.Printf("planned=%d executed=%d\n", stats.Planned, stats.Executed)
+
+	baseRes, _ := store.Result(spequlos.CampaignJob{Scenario: base})
+	speqRes, _ := store.Result(spequlos.CampaignJob{Scenario: speq})
+	fmt.Printf("baseline completed=%v tasks=%d\n", baseRes.Completed, baseRes.Size)
+	fmt.Printf("9C-C-R completed=%v faster=%v\n",
+		speqRes.Completed, speqRes.CompletionTime < baseRes.CompletionTime)
+	// Output:
+	// planned=2 executed=2
+	// baseline completed=true tasks=40
+	// 9C-C-R completed=true faster=true
+}
+
+// ExampleSimulate runs one scenario directly, without a campaign.
+func ExampleSimulate() {
+	res := spequlos.Simulate(spequlos.Scenario{
+		Profile: spequlos.QuickProfile(), Middleware: "BOINC",
+		TraceName: "g5klyo", BotClass: "SMALL",
+	})
+	fmt.Printf("completed=%v tasks=%d\n", res.Completed, res.Size)
+	// Output:
+	// completed=true tasks=40
+}

@@ -40,8 +40,14 @@ type Job struct {
 func (j Job) Key() string {
 	sc := j.Scenario
 	p := sc.Profile
-	return fmt.Sprintf("%s@bs%g,pc%d,h%g,cf%g|%s|%s|%s|%d|%s|%d",
-		p.Name, p.BotScale, p.PoolCap, p.HorizonDays, p.CreditFraction,
+	// Multi-batch cells append their concurrency parameters; single-batch
+	// keys keep the historical shape so saved stores stay resumable.
+	multi := ""
+	if p.Batches > 1 {
+		multi = fmt.Sprintf(",nb%d,ss%g", p.Batches, p.SubmitSpread)
+	}
+	return fmt.Sprintf("%s@bs%g,pc%d,h%g,cf%g%s|%s|%s|%s|%d|%s|%d",
+		p.Name, p.BotScale, p.PoolCap, p.HorizonDays, p.CreditFraction, multi,
 		sc.Middleware, sc.TraceName, sc.BotClass, sc.Offset,
 		j.configKey(), sc.Seed())
 }

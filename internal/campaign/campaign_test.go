@@ -3,6 +3,7 @@ package campaign
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -141,7 +142,7 @@ func TestExecuteMatchesRun(t *testing.T) {
 	sc := Scenario{Profile: tiny(), Middleware: XWHEP, TraceName: "nd", BotClass: "SMALL"}
 	a := Run(sc)
 	b := Execute(Job{Scenario: sc}).Result
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("Execute diverges from Run: %+v vs %+v", a, b)
 	}
 }

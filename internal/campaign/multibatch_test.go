@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"spequlos/internal/core"
+)
+
+// tinyCrowd is a crowd-shaped profile small enough for unit tests: several
+// interleaved batches on a few hundred nodes.
+func tinyCrowd(batches int) Profile {
+	p := Quick()
+	p.Name = "crowd"
+	p.Batches = batches
+	p.SubmitSpread = 1800
+	return p
+}
+
+func TestMultiBatchCellExecutes(t *testing.T) {
+	st := core.DefaultStrategy()
+	sc := Scenario{
+		Profile: tinyCrowd(5), Middleware: XWHEP, TraceName: "seti",
+		BotClass: "SMALL", Strategy: &st,
+	}
+	e := Execute(Job{Scenario: sc})
+	r := e.Result
+	if !r.Completed {
+		t.Fatalf("multi-batch cell did not complete: %+v", r)
+	}
+	if len(r.Batches) != 5 {
+		t.Fatalf("batch results = %d, want 5", len(r.Batches))
+	}
+	totalSize, totalBilled := 0, 0.0
+	seen := map[string]bool{}
+	for _, br := range r.Batches {
+		if !br.Completed || br.Size <= 0 || br.CompletionTime <= 0 {
+			t.Errorf("batch %s incomplete: %+v", br.BatchID, br)
+		}
+		if br.CreditsAllocated <= 0 {
+			t.Errorf("batch %s has no credit order: %+v", br.BatchID, br)
+		}
+		if seen[br.BatchID] {
+			t.Errorf("duplicate batch id %s", br.BatchID)
+		}
+		seen[br.BatchID] = true
+		totalSize += br.Size
+		totalBilled += br.CreditsBilled
+	}
+	if r.Size != totalSize {
+		t.Errorf("aggregate size %d != sum of batches %d", r.Size, totalSize)
+	}
+	if r.CreditsBilled != totalBilled {
+		t.Errorf("aggregate billed %v != sum of batches %v", r.CreditsBilled, totalBilled)
+	}
+	// The makespan covers the last submission: it must exceed the spread's
+	// last offset.
+	if r.CompletionTime < sc.SubmitAt(4) {
+		t.Errorf("makespan %v before last submission %v", r.CompletionTime, sc.SubmitAt(4))
+	}
+}
+
+func TestMultiBatchDeterminism(t *testing.T) {
+	st := core.DefaultStrategy()
+	sc := Scenario{
+		Profile: tinyCrowd(4), Middleware: BOINC, TraceName: "g5klyo",
+		BotClass: "SMALL", Strategy: &st,
+	}
+	a := Execute(Job{Scenario: sc})
+	b := Execute(Job{Scenario: sc})
+	if !reflect.DeepEqual(a.Result, b.Result) {
+		t.Fatalf("multi-batch run not deterministic:\n  a: %+v\n  b: %+v", a.Result, b.Result)
+	}
+}
+
+func TestMultiBatchBaselineRuns(t *testing.T) {
+	sc := Scenario{
+		Profile: tinyCrowd(3), Middleware: XWHEP, TraceName: "seti", BotClass: "SMALL",
+	}
+	r := Execute(Job{Scenario: sc}).Result
+	if !r.Completed || len(r.Batches) != 3 {
+		t.Fatalf("baseline multi-batch cell: %+v", r)
+	}
+	for _, br := range r.Batches {
+		if br.CreditsAllocated != 0 || br.Instances != 0 {
+			t.Errorf("baseline batch consumed cloud: %+v", br)
+		}
+	}
+}
+
+// TestJobKeyMultiBatch pins the key format: single-batch keys keep the
+// historical shape (stores stay resumable), multi-batch keys append the
+// concurrency parameters.
+func TestJobKeyMultiBatch(t *testing.T) {
+	single := Job{Scenario: Scenario{Profile: Quick(), Middleware: XWHEP,
+		TraceName: "seti", BotClass: "SMALL"}}
+	if strings.Contains(single.Key(), ",nb") {
+		t.Fatalf("single-batch key carries multi-batch params: %s", single.Key())
+	}
+	multi := single
+	multi.Scenario.Profile.Batches = 8
+	multi.Scenario.Profile.SubmitSpread = 600
+	if !strings.Contains(multi.Key(), ",nb8,ss600") {
+		t.Fatalf("multi-batch key missing concurrency params: %s", multi.Key())
+	}
+	if single.Key() == multi.Key() {
+		t.Fatal("batch count does not affect the job key")
+	}
+}
+
+func TestSubBatchHelpers(t *testing.T) {
+	sc := Scenario{Profile: tinyCrowd(10), Middleware: XWHEP, TraceName: "seti", BotClass: "SMALL"}
+	if sc.SubBatches() != 10 {
+		t.Fatalf("SubBatches = %d", sc.SubBatches())
+	}
+	if sc.SubBotID(0) == sc.SubBotID(1) {
+		t.Fatal("sub-batch ids collide")
+	}
+	if sc.SubSeed(1) == sc.SubSeed(2) {
+		t.Fatal("sub-batch seeds collide")
+	}
+	if sc.SubSeed(0) != sc.Seed() {
+		t.Fatal("sub-batch 0 must keep the scenario seed")
+	}
+	if at0, at9 := sc.SubmitAt(0), sc.SubmitAt(9); at0 != 0 || at9 <= 0 || at9 >= sc.Profile.SubmitSpread {
+		t.Fatalf("submit spread wrong: %v..%v", at0, at9)
+	}
+
+	one := Scenario{Profile: Quick(), Middleware: XWHEP, TraceName: "seti", BotClass: "SMALL"}
+	if one.SubBatches() != 1 || one.SubBotID(0) != one.BotID() || one.SubmitAt(0) != 0 {
+		t.Fatal("single-batch helpers must reduce to the classic shape")
+	}
+}

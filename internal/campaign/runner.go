@@ -54,8 +54,13 @@ func Execute(j Job) Entry {
 
 // executeOnce is one bounded-horizon simulation of a job. All randomness
 // derives from the scenario seed, so the same job always yields the same
-// entry regardless of execution order or worker count.
+// entry regardless of execution order or worker count. Cells carrying more
+// than one BoT (Profile.Batches) take the multi-batch path; the classic
+// one-BoT path is kept byte-identical for existing profiles and goldens.
 func executeOnce(j Job, horizon float64) Entry {
+	if j.Scenario.SubBatches() > 1 {
+		return executeMulti(j, horizon)
+	}
 	sc := j.Scenario
 	seed := sc.Seed()
 	res := Result{
@@ -156,6 +161,145 @@ func executeOnce(j Job, horizon float64) Entry {
 	}
 	entry.Result = res
 	return entry
+}
+
+// batchTracker records each watched batch's completion instant and counts
+// completed batches, giving the multi-batch run loop an O(1) stop
+// condition (probing Done per batch per event would cost O(batches) on
+// every event — the same wall the monitor's polling hit).
+type batchTracker struct {
+	done  *int
+	times map[string]float64
+}
+
+func (t batchTracker) TaskAssigned(string, int, float64)  {}
+func (t batchTracker) TaskCompleted(string, int, float64) {}
+func (t batchTracker) BatchCompleted(id string, at float64) {
+	if _, ok := t.times[id]; !ok {
+		t.times[id] = at
+		*t.done++
+	}
+}
+
+// executeMulti is one bounded-horizon simulation of a multi-batch cell:
+// N interleaved BoTs share the infrastructure, each registered for QoS with
+// its own credit order and trigger, all monitored by one service through a
+// single aggregated progress poll per tick.
+func executeMulti(j Job, horizon float64) Entry {
+	sc := j.Scenario
+	seed := sc.Seed()
+	nb := sc.SubBatches()
+	res := Result{
+		Middleware: sc.Middleware, TraceName: sc.TraceName, BotClass: sc.BotClass,
+		Offset: sc.Offset, Seed: seed, TriggeredAt: -1,
+	}
+
+	var cfg core.Config
+	useService := false
+	creditFraction := sc.Profile.CreditFraction
+	switch {
+	case j.Config != nil:
+		cfg = *j.Config
+		useService = true
+		if j.CreditFraction != nil {
+			creditFraction = *j.CreditFraction
+		}
+		res.Strategy = cfg.Strategy.Label()
+	case sc.Strategy != nil:
+		cfg = core.Config{Strategy: *sc.Strategy, MonitorPeriod: DefaultMonitorPeriod}
+		useService = true
+		res.Strategy = sc.Strategy.Label()
+	}
+
+	eng := sim.NewEngine()
+	srv := newServer(eng, sc.Middleware)
+	tr, err := CachedTrace(sc, horizon)
+	if err != nil {
+		panic(err)
+	}
+	middleware.BindTrace(eng, tr, srv)
+
+	var svc *core.Service
+	if useService {
+		simCloud := cloud.NewSimCloud(eng, cloud.DefaultSimConfig(), sim.NewRNG(seed))
+		if cfg.CloudServerFactory == nil {
+			cfg.CloudServerFactory = func() middleware.Server {
+				return xwhep.New(eng, xwhep.DefaultConfig())
+			}
+		}
+		svc = core.NewService(eng, srv, simCloud, cfg)
+	}
+
+	done := 0
+	completedAt := map[string]float64{}
+	srv.AddListener(batchTracker{done: &done, times: completedAt})
+
+	res.Batches = make([]BatchResult, nb)
+	for k := 0; k < nb; k++ {
+		workload, err := sc.SubWorkload(k)
+		if err != nil {
+			panic(err)
+		}
+		id := sc.SubBotID(k)
+		at := sc.SubmitAt(k)
+		res.Batches[k] = BatchResult{
+			BatchID: id, SubmittedAt: at, Size: workload.Size(), TriggeredAt: -1,
+		}
+		res.Size += workload.Size()
+		br := &res.Batches[k]
+		eng.At(at, func() {
+			if svc != nil {
+				if err := svc.RegisterQoS("user", id, sc.EnvKey(), workload.Size()); err != nil {
+					panic(err)
+				}
+				credits := creditFraction * workload.WorkloadCPUHours() * svc.Credits.Rate()
+				if credits > 0 {
+					svc.Credits.Deposit("user", credits)
+					if err := svc.OrderQoS("user", id, credits); err != nil {
+						panic(err)
+					}
+					br.CreditsAllocated = credits
+				}
+			}
+			srv.Submit(middleware.BatchFromBoT(workload))
+		})
+	}
+
+	eng.RunWhile(func() bool { return done < nb && eng.Now() <= horizon })
+
+	res.Events = eng.Executed()
+	res.Completed = done == nb
+	for k := range res.Batches {
+		br := &res.Batches[k]
+		if at, ok := completedAt[br.BatchID]; ok {
+			br.Completed = true
+			br.CompletionTime = at - br.SubmittedAt
+			if at > res.CompletionTime {
+				res.CompletionTime = at // the cell's makespan
+			}
+		}
+		res.CreditsAllocated += br.CreditsAllocated
+		if svc == nil {
+			continue
+		}
+		if u, err := svc.Usage(br.BatchID); err == nil {
+			br.CreditsBilled = u.CreditsBilled
+			br.Instances = u.InstancesStarted
+			if u.TriggeredAt >= 0 {
+				br.TriggeredAt = u.TriggeredAt - br.SubmittedAt
+				if res.TriggeredAt < 0 || u.TriggeredAt < res.TriggeredAt {
+					res.TriggeredAt = u.TriggeredAt // earliest trigger in the cell
+				}
+			}
+			res.CreditsBilled += u.CreditsBilled
+			res.CloudCPUSeconds += u.CPUSeconds
+			res.Instances += u.InstancesStarted
+		}
+	}
+	if !res.Completed {
+		res.CompletionTime = 0
+	}
+	return Entry{Result: res}
 }
 
 // CompletionCurve runs a scenario and returns its Fig 1 completion curve

@@ -104,6 +104,18 @@ type Profile struct {
 	CreditFraction float64
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Batches is the number of concurrent QoS batches one scenario cell
+	// carries (0 or 1 = a single BoT, the paper's shape). The crowd
+	// profile sets it to hundreds: one simulated infrastructure serving
+	// many QoS users at once, each sub-batch with its own credit order,
+	// QoS trigger and per-batch accounting. Omitted from JSON when zero so
+	// single-batch profiles keep their stored byte shape.
+	Batches int `json:",omitempty"`
+	// SubmitSpread staggers multi-batch submissions uniformly over this
+	// many seconds (0 = every batch submits at t=0). Interleaved arrivals
+	// are what make the crowd cell exercise concurrent monitor state
+	// rather than a single synchronized wave.
+	SubmitSpread float64 `json:",omitempty"`
 }
 
 // Quick returns the bench profile (small BoTs, small pools).
@@ -143,7 +155,22 @@ func Stress() Profile {
 	}
 }
 
-// ProfileByName resolves quick/standard/full/stress.
+// Crowd returns the multi-tenant stress profile: one 500-node trace
+// serving 200 concurrent QoS batches — the "shared service" shape the
+// paper's framing implies but never evaluates. Each cell interleaves 200
+// quick-sized sub-batches (submissions staggered over four hours), each
+// with its own credit order and QoS trigger; the Scheduler monitors all of
+// them through ONE aggregated DG poll per tick. spequlos-bench records the
+// fairness and poll-economy numbers in BENCH_crowd.json.
+func Crowd() Profile {
+	return Profile{
+		Name: "crowd", BotScale: 0.01, Offsets: 1, PoolCap: 500,
+		HorizonDays: 6, CreditFraction: 0.10,
+		Batches: 200, SubmitSpread: 4 * 3600,
+	}
+}
+
+// ProfileByName resolves quick/standard/full/stress/crowd.
 func ProfileByName(name string) (Profile, error) {
 	switch name {
 	case "quick":
@@ -154,6 +181,8 @@ func ProfileByName(name string) (Profile, error) {
 		return Full(), nil
 	case "stress":
 		return Stress(), nil
+	case "crowd":
+		return Crowd(), nil
 	}
 	return Profile{}, fmt.Errorf("campaign: unknown profile %q", name)
 }
@@ -209,6 +238,50 @@ func (sc Scenario) BotID() string {
 // Workload generates the scenario's BoT deterministically: the class scaled
 // by the profile's BotScale, seeded from the scenario coordinates.
 func (sc Scenario) Workload() (*bot.BoT, error) {
+	return sc.SubWorkload(0)
+}
+
+// SubBatches returns the number of concurrent BoTs the cell carries (≥1).
+func (sc Scenario) SubBatches() int {
+	if sc.Profile.Batches > 1 {
+		return sc.Profile.Batches
+	}
+	return 1
+}
+
+// SubBotID returns the batch identifier of sub-batch k. A single-batch
+// cell keeps the plain BotID, so multi-batch support does not disturb
+// existing keys, stores or goldens.
+func (sc Scenario) SubBotID(k int) string {
+	if sc.SubBatches() == 1 {
+		return sc.BotID()
+	}
+	return fmt.Sprintf("%s.b%03d", sc.BotID(), k)
+}
+
+// SubSeed derives the workload seed of sub-batch k: sub-batch 0 keeps the
+// scenario seed (single-batch compatibility); later batches fork it so the
+// crowd's BoTs differ while staying deterministic.
+func (sc Scenario) SubSeed(k int) uint64 {
+	if k == 0 {
+		return sc.Seed()
+	}
+	return sim.SeedFrom(sc.Profile.Name, sc.Middleware, sc.TraceName, sc.BotClass,
+		fmt.Sprintf("offset-%d", sc.Offset), fmt.Sprintf("sub-%d", k))
+}
+
+// SubmitAt returns the virtual submission instant of sub-batch k:
+// submissions interleave uniformly over the profile's SubmitSpread.
+func (sc Scenario) SubmitAt(k int) float64 {
+	n := sc.SubBatches()
+	if n <= 1 || sc.Profile.SubmitSpread <= 0 {
+		return 0
+	}
+	return sc.Profile.SubmitSpread * float64(k) / float64(n)
+}
+
+// SubWorkload generates sub-batch k's BoT deterministically.
+func (sc Scenario) SubWorkload(k int) (*bot.BoT, error) {
 	class, ok := bot.ClassByName(sc.BotClass)
 	if !ok {
 		return nil, fmt.Errorf("campaign: unknown bot class %q", sc.BotClass)
@@ -216,7 +289,7 @@ func (sc Scenario) Workload() (*bot.BoT, error) {
 	if sc.Profile.BotScale > 0 && sc.Profile.BotScale != 1 {
 		class = class.Scaled(sc.Profile.BotScale)
 	}
-	return class.Generate(sc.BotID(), sc.Seed()), nil
+	return class.Generate(sc.SubBotID(k), sc.SubSeed(k)), nil
 }
 
 // GenerateTrace generates the scenario's availability trace for the given
@@ -254,6 +327,30 @@ type Result struct {
 	TriggeredAt      float64
 
 	Events uint64 // simulation events executed (for benchmarking)
+
+	// Batches holds per-batch outcomes for multi-batch cells (nil for the
+	// classic one-BoT cells, and omitted from their JSON so existing stores
+	// and goldens keep their byte shape). Aggregate fields then read:
+	// Completed = every batch completed, CompletionTime = the cell's
+	// makespan, Size = total tasks, credits/instances = sums; tail metrics
+	// are per-batch concepts and stay zero.
+	Batches []BatchResult `json:",omitempty"`
+}
+
+// BatchResult is one sub-batch's outcome within a multi-batch cell. Times
+// are relative to the sub-batch's own submission instant, which is what
+// per-user QoS fairness is measured on.
+type BatchResult struct {
+	BatchID        string
+	SubmittedAt    float64 // virtual submission instant within the cell
+	Completed      bool
+	Size           int
+	CompletionTime float64 // seconds from this batch's submission
+
+	CreditsAllocated float64
+	CreditsBilled    float64
+	Instances        int
+	TriggeredAt      float64 // seconds from submission; -1 if never
 }
 
 // EnvKey mirrors Scenario.EnvKey.

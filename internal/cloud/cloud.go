@@ -148,6 +148,7 @@ func (i *Instance) Busy() bool {
 	return i.target.WorkerBusy(i.Worker)
 }
 
+// String identifies the instance for logs and test failures.
 func (i *Instance) String() string {
 	return fmt.Sprintf("cloud-instance(worker=%d batch=%s)", i.Worker.ID, i.BatchID)
 }

@@ -93,15 +93,28 @@ func (d *MockDriver) SetClock(now func() time.Time) {
 	d.now = now
 }
 
-// The providers the paper's prototype supports (§3.7). Boot latencies and
-// prices are representative, not contractual.
-func NewMockEC2() *MockDriver        { return NewMockDriver("ec2", 90*time.Second, 0.34) }
+// NewMockEC2 and the constructors below build the providers the paper's
+// prototype supports (§3.7). Boot latencies and prices are representative,
+// not contractual.
+func NewMockEC2() *MockDriver { return NewMockDriver("ec2", 90*time.Second, 0.34) }
+
+// NewMockEucalyptus builds the Eucalyptus mock provider.
 func NewMockEucalyptus() *MockDriver { return NewMockDriver("eucalyptus", 120*time.Second, 0.20) }
-func NewMockRackspace() *MockDriver  { return NewMockDriver("rackspace", 100*time.Second, 0.32) }
+
+// NewMockRackspace builds the Rackspace mock provider.
+func NewMockRackspace() *MockDriver { return NewMockDriver("rackspace", 100*time.Second, 0.32) }
+
+// NewMockOpenNebula builds the OpenNebula mock provider.
 func NewMockOpenNebula() *MockDriver { return NewMockDriver("opennebula", 150*time.Second, 0.10) }
+
+// NewMockStratusLab builds the StratusLab mock provider.
 func NewMockStratusLab() *MockDriver { return NewMockDriver("stratuslab", 150*time.Second, 0.10) }
-func NewMockNimbus() *MockDriver     { return NewMockDriver("nimbus", 140*time.Second, 0.12) }
-func NewMockGrid5000() *MockDriver   { return NewMockDriver("grid5000", 180*time.Second, 0.0) }
+
+// NewMockNimbus builds the Nimbus mock provider.
+func NewMockNimbus() *MockDriver { return NewMockDriver("nimbus", 140*time.Second, 0.12) }
+
+// NewMockGrid5000 builds the free Grid'5000 mock provider.
+func NewMockGrid5000() *MockDriver { return NewMockDriver("grid5000", 180*time.Second, 0.0) }
 
 // Name implements Driver.
 func (d *MockDriver) Name() string { return d.name }

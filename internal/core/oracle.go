@@ -160,6 +160,7 @@ func (d Deployment) Code() string {
 	return "?"
 }
 
+// String returns the deployment's full name (its Code is the label letter).
 func (d Deployment) String() string {
 	switch d {
 	case Flat:

@@ -55,6 +55,9 @@ type Service struct {
 	// multi-batch runs non-reproducible for a given seed.
 	order  []string
 	ticker *sim.Ticker
+	// pollScratch backs the per-tick active-batch snapshot, reused so a
+	// tick allocates nothing proportional to the batch count.
+	pollScratch []string
 }
 
 type qosBatch struct {
@@ -165,26 +168,48 @@ func (s *Service) Usage(batchID string) (CloudUsage, error) {
 }
 
 // tick is the combined Information/Scheduler monitor loop (Algorithms 1
-// and 2 of §3.6).
+// and 2 of §3.6). The progress of every active batch is pulled in ONE
+// aggregated query per tick (middleware.BatchProgressor) instead of one
+// poll per batch — with hundreds of concurrent QoS batches sharing a DG
+// server, per-batch polling is the first scaling wall the monitor hits.
 func (s *Service) tick(now float64) {
-	active := 0
+	s.pollScratch = s.pollScratch[:0]
 	for _, id := range s.order {
+		if !s.batches[id].finalized {
+			s.pollScratch = append(s.pollScratch, id)
+		}
+	}
+	if len(s.pollScratch) == 0 {
+		if s.ticker != nil {
+			s.ticker.Stop()
+			s.ticker = nil
+		}
+		return
+	}
+	// One aggregated query when the server supports it; otherwise observe
+	// each batch directly — no intermediate map, so the steady-state tick
+	// of the in-process simulators stays allocation-free.
+	bp, batched := s.primary.(middleware.BatchProgressor)
+	var progress map[string]middleware.Progress
+	if batched {
+		progress = bp.ProgressBatch(s.pollScratch)
+	}
+	for _, id := range s.pollScratch {
 		qb := s.batches[id]
 		if qb.finalized {
-			continue
+			continue // finalized by an earlier batch's side effects this tick
 		}
-		active++
-		s.observe(qb)
+		if batched {
+			s.observeWith(qb, progress[id])
+		} else {
+			s.observe(qb)
+		}
 		if qb.bi.Done() {
 			s.finalize(qb)
 			continue
 		}
 		s.manageCloudWorkers(qb) // Algorithm 2
 		s.maybeStartCloud(qb)    // Algorithm 1
-	}
-	if active == 0 && s.ticker != nil {
-		s.ticker.Stop()
-		s.ticker = nil
 	}
 }
 
@@ -193,7 +218,14 @@ func (s *Service) observe(qb *qosBatch) {
 	if qb == nil || qb.finalized {
 		return
 	}
-	p := s.primary.Progress(qb.id)
+	s.observeWith(qb, s.primary.Progress(qb.id))
+}
+
+// observeWith records an already-fetched progress view of the batch.
+func (s *Service) observeWith(qb *qosBatch, p middleware.Progress) {
+	if qb == nil || qb.finalized {
+		return
+	}
 	qb.bi.AddSampleWorkers(s.eng.Now(), p.Completed, p.EverAssigned, p.Queued, p.Running, p.Workers)
 }
 

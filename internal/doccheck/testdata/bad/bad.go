@@ -1,0 +1,31 @@
+// Package bad is the doccheck fixture: it mixes documented and
+// undocumented exported identifiers so the linter test can assert both
+// directions.
+package bad
+
+// Documented has a comment and must not be reported.
+func Documented() {}
+
+func Undocumented() {}
+
+type NoDocType int
+
+func (NoDocType) NoDocMeth() {}
+
+// DocMeth is documented.
+func (NoDocType) DocMeth() {}
+
+const NoDocConst = 1
+
+// DocConst is documented.
+const DocConst = 2
+
+// Grouped constants: the block comment covers every member.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+type unexported int
+
+func (unexported) ExportedMethodOnUnexported() {}

@@ -46,6 +46,25 @@ func QuickSpec() Spec {
 	}
 }
 
+// CrowdSpec is the concurrency conformance subset CI runs: a reduced crowd
+// cell — eight interleaved QoS batches sharing one trace — per middleware,
+// proving the HTTP stack agrees with the in-process simulator batch by
+// batch while the Scheduler polls the DG through one aggregated query per
+// tick. (The full crowd profile runs 200 batches; eight keeps the CI cell
+// under a second while still exercising concurrent monitor state.)
+func CrowdSpec() Spec {
+	p := campaign.Crowd()
+	p.Batches = 8
+	p.SubmitSpread = 1800
+	return Spec{
+		Profile:     p,
+		Middlewares: campaign.AllMiddlewares(),
+		Traces:      []string{"seti"},
+		Bots:        []string{"SMALL"},
+		Strategies:  mustStrategies("9C-C-R"),
+	}
+}
+
 func mustStrategies(labels ...string) []core.Strategy {
 	out := make([]core.Strategy, len(labels))
 	for i, l := range labels {
@@ -109,6 +128,21 @@ func (s Spec) scenarios() []campaign.Scenario {
 
 // Metrics are the values both execution paths must agree on.
 type Metrics struct {
+	Completed      bool    `json:"completed"`
+	CompletionTime float64 `json:"completion_time"`
+	TriggeredAt    float64 `json:"triggered_at"`
+	Instances      int     `json:"instances"`
+	CreditsBilled  float64 `json:"credits_billed"`
+	// Batches carries the per-batch metrics of a multi-batch cell; the
+	// comparison then runs batch by batch, so a crowd cell only conforms
+	// when every individual user's trigger, fleet, credits and completion
+	// agree across the two paths.
+	Batches []BatchMetrics `json:"batches,omitempty"`
+}
+
+// BatchMetrics are one sub-batch's comparison values.
+type BatchMetrics struct {
+	BatchID        string  `json:"batch_id"`
 	Completed      bool    `json:"completed"`
 	CompletionTime float64 `json:"completion_time"`
 	TriggeredAt    float64 `json:"triggered_at"`
@@ -275,6 +309,13 @@ func (spec Spec) runCell(sc campaign.Scenario, store *campaign.ResultStore) Cell
 		TriggeredAt: simRes.TriggeredAt, Instances: simRes.Instances,
 		CreditsBilled: simRes.CreditsBilled,
 	}
+	for _, br := range simRes.Batches {
+		cell.Sim.Batches = append(cell.Sim.Batches, BatchMetrics{
+			BatchID: br.BatchID, Completed: br.Completed,
+			CompletionTime: br.CompletionTime, TriggeredAt: br.TriggeredAt,
+			Instances: br.Instances, CreditsBilled: br.CreditsBilled,
+		})
+	}
 	out, err := RunCell(sc)
 	if err != nil {
 		cell.Err = err.Error()
@@ -285,12 +326,38 @@ func (spec Spec) runCell(sc campaign.Scenario, store *campaign.ResultStore) Cell
 		TriggeredAt: out.TriggeredAt, Instances: out.Instances,
 		CreditsBilled: out.CreditsBilled,
 	}
+	for _, bo := range out.Batches {
+		cell.Emul.Batches = append(cell.Emul.Batches, BatchMetrics{
+			BatchID: bo.BatchID, Completed: bo.Completed,
+			CompletionTime: bo.CompletionTime, TriggeredAt: bo.TriggeredAt,
+			Instances: bo.Instances, CreditsBilled: bo.CreditsBilled,
+		})
+	}
 	cell.TriggerMatch = sameTrigger(cell.Sim.TriggeredAt, cell.Emul.TriggeredAt)
 	cell.InstancesMatch = cell.Sim.Instances == cell.Emul.Instances
 	cell.CreditsMatch = within(cell.Sim.CreditsBilled, cell.Emul.CreditsBilled, spec.CreditsTol)
 	cell.CompletionMatch = cell.Sim.Completed == cell.Emul.Completed &&
 		(!cell.Sim.Completed ||
 			within(cell.Sim.CompletionTime, cell.Emul.CompletionTime, spec.CompletionTol))
+	// Multi-batch cells conform batch by batch: the aggregate hiding a
+	// per-user divergence must not pass.
+	if len(cell.Sim.Batches) != len(cell.Emul.Batches) {
+		// The per-batch comparison never ran; no aggregate agreement can
+		// stand in for it.
+		cell.TriggerMatch, cell.InstancesMatch = false, false
+		cell.CreditsMatch, cell.CompletionMatch = false, false
+		cell.Err = fmt.Sprintf("batch count: sim %d, emul %d",
+			len(cell.Sim.Batches), len(cell.Emul.Batches))
+	} else {
+		for i := range cell.Sim.Batches {
+			sb, eb := cell.Sim.Batches[i], cell.Emul.Batches[i]
+			cell.TriggerMatch = cell.TriggerMatch && sameTrigger(sb.TriggeredAt, eb.TriggeredAt)
+			cell.InstancesMatch = cell.InstancesMatch && sb.Instances == eb.Instances
+			cell.CreditsMatch = cell.CreditsMatch && within(sb.CreditsBilled, eb.CreditsBilled, spec.CreditsTol)
+			cell.CompletionMatch = cell.CompletionMatch && sb.Completed == eb.Completed &&
+				(!sb.Completed || within(sb.CompletionTime, eb.CompletionTime, spec.CompletionTol))
+		}
+	}
 	cell.Pass = cell.TriggerMatch && cell.InstancesMatch && cell.CreditsMatch && cell.CompletionMatch
 	return cell
 }

@@ -39,8 +39,8 @@ func TestQuickConformance(t *testing.T) {
 func TestConformanceReportText(t *testing.T) {
 	rep := Report{Profile: "quick", Cells: []Cell{
 		{Middleware: "XWHEP", Trace: "seti", Bot: "SMALL", Strategy: "9C-C-R",
-			Sim:  Metrics{Completed: true, CompletionTime: 1000, Instances: 2, CreditsBilled: 3},
-			Emul: Metrics{Completed: true, CompletionTime: 1000, Instances: 2, CreditsBilled: 3},
+			Sim:          Metrics{Completed: true, CompletionTime: 1000, Instances: 2, CreditsBilled: 3},
+			Emul:         Metrics{Completed: true, CompletionTime: 1000, Instances: 2, CreditsBilled: 3},
 			TriggerMatch: true, InstancesMatch: true, CreditsMatch: true, CompletionMatch: true, Pass: true},
 		{Middleware: "BOINC", Trace: "nd", Bot: "BIG", Strategy: "9C-G-F", Err: "boom"},
 	}}

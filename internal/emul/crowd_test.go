@@ -1,0 +1,42 @@
+package emul
+
+import (
+	"context"
+	"testing"
+
+	"spequlos/internal/campaign"
+)
+
+// TestCrowdConformance is the concurrency acceptance gate: a reduced crowd
+// cell (eight interleaved QoS batches on one trace) per middleware must
+// agree between the in-process simulator and the deployable HTTP stack —
+// batch by batch — on trigger tick, fleet size, credits billed and
+// completion time, while the Scheduler polls the DG through one aggregated
+// query per tick.
+func TestCrowdConformance(t *testing.T) {
+	spec := CrowdSpec()
+	rep, err := RunConformance(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(campaign.AllMiddlewares()); len(rep.Cells) != want {
+		t.Fatalf("cells: %d, want %d", len(rep.Cells), want)
+	}
+	for _, c := range rep.Cells {
+		if len(c.Sim.Batches) != spec.Profile.Batches || len(c.Emul.Batches) != spec.Profile.Batches {
+			t.Errorf("cell %s carries %d/%d batch metrics, want %d",
+				c.Label(), len(c.Sim.Batches), len(c.Emul.Batches), spec.Profile.Batches)
+		}
+		if c.Pass {
+			continue
+		}
+		t.Errorf("cell %s diverged (trigger=%v instances=%v credits=%v completion=%v err=%q)",
+			c.Label(), c.TriggerMatch, c.InstancesMatch, c.CreditsMatch, c.CompletionMatch, c.Err)
+		for i := range c.Sim.Batches {
+			if i < len(c.Emul.Batches) && c.Sim.Batches[i] != c.Emul.Batches[i] {
+				t.Logf("  batch %s:\n    sim:  %+v\n    emul: %+v",
+					c.Sim.Batches[i].BatchID, c.Sim.Batches[i], c.Emul.Batches[i])
+			}
+		}
+	}
+}

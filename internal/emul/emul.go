@@ -26,6 +26,7 @@ import (
 	"net/http/httptest"
 	"time"
 
+	"spequlos/internal/bot"
 	"spequlos/internal/bridge"
 	"spequlos/internal/campaign"
 	"spequlos/internal/cloud"
@@ -50,13 +51,18 @@ type Outcome struct {
 	Size           int     `json:"size"`
 	CompletionTime float64 `json:"completion_time"`
 	// TriggeredAt is when the Scheduler started cloud support (virtual
-	// seconds since submission; -1 if never).
+	// seconds since submission; -1 if never). For multi-batch cells it is
+	// the cell's earliest trigger.
 	TriggeredAt      float64 `json:"triggered_at"`
 	Started          bool    `json:"started"`
 	Instances        int     `json:"instances"`
 	CreditsAllocated float64 `json:"credits_allocated"`
 	CreditsBilled    float64 `json:"credits_billed"`
 	Exhausted        bool    `json:"exhausted"`
+
+	// Batches holds per-batch outcomes for multi-batch cells (nil for the
+	// classic one-BoT cells), mirroring campaign.BatchResult.
+	Batches []BatchOutcome `json:"batches,omitempty"`
 
 	// Events counts simulation events; Ticks counts Scheduler monitor
 	// iterations driven by the virtual ticker.
@@ -66,6 +72,24 @@ type Outcome struct {
 	// grid-submitted batch.
 	BridgeForwarded int `json:"bridge_forwarded"`
 	BridgeCompleted int `json:"bridge_completed"`
+}
+
+// BatchOutcome is one sub-batch's emulated outcome within a multi-batch
+// cell. Times are relative to the sub-batch's own submission instant, the
+// convention campaign.BatchResult uses.
+type BatchOutcome struct {
+	BatchID        string  `json:"batch_id"`
+	SubmittedAt    float64 `json:"submitted_at"`
+	Completed      bool    `json:"completed"`
+	Size           int     `json:"size"`
+	CompletionTime float64 `json:"completion_time"`
+
+	Started          bool    `json:"started"`
+	TriggeredAt      float64 `json:"triggered_at"` // -1 if never
+	Instances        int     `json:"instances"`
+	CreditsAllocated float64 `json:"credits_allocated"`
+	CreditsBilled    float64 `json:"credits_billed"`
+	Exhausted        bool    `json:"exhausted"`
 }
 
 // RunCell executes one scenario through the deployable HTTP stack on the
@@ -89,7 +113,12 @@ func RunCell(sc campaign.Scenario) (Outcome, error) {
 	return o, nil
 }
 
-// runOnce is one bounded-horizon emulated execution.
+// runOnce is one bounded-horizon emulated execution. Cells carrying more
+// than one BoT (Profile.Batches) register every sub-batch with the stack:
+// the virtual ticker steps the Scheduler — ONE aggregated progress-batch
+// round-trip per tick for all of them — and each completion finalizes just
+// its own batch at the completion instant, mirroring the in-process
+// simulator's event-driven finalization.
 func runOnce(sc campaign.Scenario, horizon float64) (Outcome, error) {
 	o := Outcome{
 		Middleware: sc.Middleware, TraceName: sc.TraceName, BotClass: sc.BotClass,
@@ -109,13 +138,19 @@ func runOnce(sc campaign.Scenario, horizon float64) (Outcome, error) {
 		return o, err
 	}
 	middleware.BindTrace(eng, tr, primary)
-	botID := sc.BotID()
-	o.BatchID = botID
-	workload, err := sc.Workload()
-	if err != nil {
-		return o, err
+	nb := sc.SubBatches()
+	o.BatchID = sc.BotID()
+	botIDs := make([]string, nb)
+	workloads := make([]*bot.BoT, nb)
+	for k := 0; k < nb; k++ {
+		botIDs[k] = sc.SubBotID(k)
+		w, err := sc.SubWorkload(k)
+		if err != nil {
+			return o, err
+		}
+		workloads[k] = w
+		o.Size += w.Size()
 	}
-	o.Size = workload.Size()
 	simCl := cloud.NewSimCloud(eng, cloud.DefaultSimConfig(), sim.NewRNG(sc.Seed()))
 
 	// The DG gateway: the simulated server behind the DGGateway HTTP
@@ -144,30 +179,28 @@ func runOnce(sc campaign.Scenario, horizon float64) (Outcome, error) {
 		return epoch.Add(time.Duration(eng.Now() * float64(time.Second)))
 	})
 
-	// registerQoS + orderQoS of Fig 3, over the wire.
-	credits := sc.Profile.CreditFraction * workload.WorkloadCPUHours() * core.CreditsPerCPUHour
-	if credits > 0 {
-		if err := stack.CreditClient.Deposit("user", credits); err != nil {
-			return o, err
+	// Per-batch monitor state: a batch is done stepping once the Scheduler
+	// reports it finalized.
+	finalized := map[string]bool{}
+	finalCount := 0
+	refresh := func(id string) {
+		if finalized[id] {
+			return
 		}
-		o.CreditsAllocated = credits
-	}
-	if err := postQoS(stack.SchedulerAddr, service.QoSRequest{
-		User: "user", BatchID: botID, EnvKey: sc.EnvKey(), Size: workload.Size(),
-		Credits: credits, Provider: ProviderName, Image: "emul-worker",
-	}); err != nil {
-		return o, err
+		if st, err := stack.Scheduler.Status(id); err == nil && st.Finalized {
+			finalized[id] = true
+			finalCount++
+		}
 	}
 
 	// The monitor loop: a simulation ticker steps the Scheduler at the
-	// paper's one-minute period. A completion hook steps once more at the
-	// instant the batch finishes, mirroring the in-process simulator's
-	// event-driven finalization (billing settles at the completion time,
-	// not at the next poll).
+	// paper's one-minute period — one aggregated DG poll shared by every
+	// registered batch. A per-batch completion hook steps just the finished
+	// batch at its completion instant, so billing settles at the completion
+	// time without advancing the other batches' monitor state between ticks.
 	var stepErr error
-	finalized := false
 	stepOnce := func() {
-		if stepErr != nil || finalized {
+		if stepErr != nil || finalCount == nb {
 			return
 		}
 		o.Ticks++
@@ -175,50 +208,124 @@ func runOnce(sc campaign.Scenario, horizon float64) (Outcome, error) {
 			stepErr = err
 			return
 		}
-		if st, err := stack.Scheduler.Status(botID); err == nil {
-			finalized = st.Finalized
+		for _, id := range botIDs {
+			refresh(id)
 		}
 	}
 	ticker := eng.NewTicker(campaign.DefaultMonitorPeriod, func(sim.Time) { stepOnce() })
 	defer ticker.Stop()
-	completedAt := -1.0
-	primary.AddListener(completionHook{batchID: botID, fn: func(at float64) {
-		if completedAt < 0 {
-			completedAt = at
-			eng.After(0, stepOnce)
+	completedAt := make(map[string]float64, nb)
+	primary.AddListener(completionHook{watch: botIDs, fn: func(id string, at float64) {
+		if _, ok := completedAt[id]; ok {
+			return
 		}
+		completedAt[id] = at
+		eng.After(0, func() {
+			if stepErr != nil || finalized[id] {
+				return
+			}
+			o.Ticks++
+			if err := stack.Scheduler.StepBatch(id); err != nil {
+				stepErr = err
+				return
+			}
+			refresh(id)
+		})
 	}})
 
-	// Submission arrives through the 3G-Bridge, the grid path of §3.7: the
-	// batch keeps its QoS identifier, so the stack recognizes it exactly as
-	// a natively-submitted BoT.
+	// registerQoS + orderQoS of Fig 3, over the wire, at each sub-batch's
+	// submission instant; submission arrives through the 3G-Bridge, the
+	// grid path of §3.7, so the stack recognizes every BoT exactly as a
+	// natively-submitted one.
 	br := bridge.New(primary)
-	if err := br.SubmitGridBatch("emul-grid", middleware.BatchFromBoT(workload)); err != nil {
-		return o, err
+	subCredits := make([]float64, nb)
+	for k := 0; k < nb; k++ {
+		k := k
+		credits := sc.Profile.CreditFraction * workloads[k].WorkloadCPUHours() * core.CreditsPerCPUHour
+		subCredits[k] = credits
+		o.CreditsAllocated += credits
+		eng.At(sc.SubmitAt(k), func() {
+			if stepErr != nil {
+				return
+			}
+			// Submission-path failures carry their own context so a crowd
+			// debugging session is pointed at the failing registration, not
+			// at the monitor loop.
+			if credits > 0 {
+				if err := stack.CreditClient.Deposit("user", credits); err != nil {
+					stepErr = fmt.Errorf("deposit for %s: %w", botIDs[k], err)
+					return
+				}
+			}
+			if err := postQoS(stack.SchedulerAddr, service.QoSRequest{
+				User: "user", BatchID: botIDs[k], EnvKey: sc.EnvKey(),
+				Size: workloads[k].Size(), Credits: credits,
+				Provider: ProviderName, Image: "emul-worker",
+			}); err != nil {
+				stepErr = fmt.Errorf("registerQoS for %s: %w", botIDs[k], err)
+				return
+			}
+			if err := br.SubmitGridBatch("emul-grid", middleware.BatchFromBoT(workloads[k])); err != nil {
+				stepErr = fmt.Errorf("grid submission of %s: %w", botIDs[k], err)
+			}
+		})
 	}
 
 	eng.RunWhile(func() bool {
-		return stepErr == nil && !finalized && eng.Now() <= horizon
+		return stepErr == nil && finalCount < nb && eng.Now() <= horizon
 	})
 	if stepErr != nil {
-		return o, fmt.Errorf("emul: scheduler step: %w", stepErr)
+		return o, fmt.Errorf("emul: %w", stepErr)
 	}
 
-	o.Completed = completedAt >= 0
-	o.CompletionTime = completedAt
+	o.Completed = len(completedAt) == nb
 	o.Events = eng.Executed()
-	if st, err := stack.Scheduler.Status(botID); err == nil {
-		o.Started = st.Started
-		o.Exhausted = st.Exhausted
-		o.TriggeredAt = st.TriggeredAt
-		o.Instances = len(st.Instances)
+	if nb > 1 {
+		o.Batches = make([]BatchOutcome, nb)
 	}
-	if credits > 0 {
-		order, err := stack.CreditClient.OrderOf(botID)
-		if err != nil {
-			return o, err
+	for k, id := range botIDs {
+		bo := BatchOutcome{
+			BatchID: id, SubmittedAt: sc.SubmitAt(k), Size: workloads[k].Size(),
+			TriggeredAt: -1, CreditsAllocated: subCredits[k],
 		}
-		o.CreditsBilled = order.Billed
+		if at, ok := completedAt[id]; ok {
+			bo.Completed = true
+			bo.CompletionTime = at - bo.SubmittedAt
+			if at > o.CompletionTime {
+				o.CompletionTime = at // the cell's makespan
+			}
+		}
+		if st, err := stack.Scheduler.Status(id); err == nil {
+			bo.Started = st.Started
+			bo.Exhausted = st.Exhausted
+			// The Scheduler records TriggeredAt relative to registration —
+			// already the per-batch convention.
+			bo.TriggeredAt = st.TriggeredAt
+			bo.Instances = len(st.Instances)
+			o.Started = o.Started || st.Started
+			o.Exhausted = o.Exhausted || st.Exhausted
+			o.Instances += len(st.Instances)
+			if st.TriggeredAt >= 0 {
+				abs := st.TriggeredAt + bo.SubmittedAt
+				if o.TriggeredAt < 0 || abs < o.TriggeredAt {
+					o.TriggeredAt = abs // earliest trigger in the cell
+				}
+			}
+		}
+		if subCredits[k] > 0 {
+			order, err := stack.CreditClient.OrderOf(id)
+			if err != nil {
+				return o, err
+			}
+			bo.CreditsBilled = order.Billed
+			o.CreditsBilled += order.Billed
+		}
+		if nb > 1 {
+			o.Batches[k] = bo
+		}
+	}
+	if !o.Completed {
+		o.CompletionTime = -1
 	}
 	for _, s := range br.StatsBySource() {
 		o.BridgeForwarded += s.Forwarded
@@ -227,17 +334,20 @@ func runOnce(sc campaign.Scenario, horizon float64) (Outcome, error) {
 	return o, nil
 }
 
-// completionHook invokes fn when the watched batch completes.
+// completionHook invokes fn when one of the watched batches completes.
 type completionHook struct {
-	batchID string
-	fn      func(at float64)
+	watch []string
+	fn    func(id string, at float64)
 }
 
 func (h completionHook) TaskAssigned(string, int, float64)  {}
 func (h completionHook) TaskCompleted(string, int, float64) {}
 func (h completionHook) BatchCompleted(batchID string, at float64) {
-	if batchID == h.batchID {
-		h.fn(at)
+	for _, id := range h.watch {
+		if batchID == id {
+			h.fn(batchID, at)
+			return
+		}
 	}
 }
 

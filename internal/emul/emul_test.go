@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 
 	"spequlos/internal/campaign"
@@ -71,7 +72,7 @@ func TestRunCellDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("nondeterministic emulation:\n a=%+v\n b=%+v", a, b)
 	}
 }

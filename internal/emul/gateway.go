@@ -1,6 +1,7 @@
 package emul
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -73,6 +74,13 @@ func (g *SimDG) SetWorkerURL(url string) { g.workerURL = url }
 // in-process simulator's monitor observes.
 func (g *SimDG) Progress(batchID string) (middleware.Progress, error) {
 	return g.primary.Progress(batchID), nil
+}
+
+// ProgressBatch returns the primary server's view of every named batch in
+// one call (service.BatchProgressGateway): the aggregated poll that keeps
+// the Scheduler's per-tick gateway traffic O(1) in the batch count.
+func (g *SimDG) ProgressBatch(batchIDs []string) (map[string]middleware.Progress, error) {
+	return middleware.ProgressAll(g.primary, batchIDs), nil
 }
 
 // WorkerURL implements service.DGGateway.
@@ -235,11 +243,29 @@ func (d *Driver) List() []cloud.InstanceInfo {
 // interface, so the Scheduler module talks to the (simulated) DG server
 // exactly as it would to a remote BOINC/XWHEP status adapter:
 //
-//	GET /progress/{batch}  → middleware.Progress
-//	GET /busy/{instance}   → {"busy": bool}
-//	GET /worker-url        → {"worker_url": string}
+//	GET  /progress/{batch}  → middleware.Progress
+//	POST /progress-batch    {"ids": [...]} → {"progress": {id: Progress}}
+//	GET  /busy/{instance}   → {"busy": bool}
+//	GET  /worker-url        → {"worker_url": string}
 func (g *SimDG) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/progress-batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+			return
+		}
+		var req progressBatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		progress, err := g.ProgressBatch(req.IDs)
+		if err != nil {
+			httpErr(w, http.StatusBadGateway, err)
+			return
+		}
+		httpJSON(w, http.StatusOK, progressBatchReply{Progress: progress})
+	})
 	mux.HandleFunc("/progress/", func(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/progress/")
 		if r.Method != http.MethodGet || id == "" {
@@ -273,6 +299,16 @@ func (g *SimDG) Handler() http.Handler {
 		httpErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
 	})
 	return mux
+}
+
+// progressBatchRequest/Reply are the wire shape of the aggregated progress
+// query (POST /progress-batch).
+type progressBatchRequest struct {
+	IDs []string `json:"ids"`
+}
+
+type progressBatchReply struct {
+	Progress map[string]middleware.Progress `json:"progress"`
 }
 
 func httpJSON(w http.ResponseWriter, status int, v any) {
@@ -321,11 +357,43 @@ func (c *DGClient) get(path string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+func (c *DGClient) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("emul: %s", e.Error)
+		}
+		return fmt.Errorf("emul: HTTP %d on %s", resp.StatusCode, path)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
 // Progress implements service.DGGateway.
 func (c *DGClient) Progress(batchID string) (middleware.Progress, error) {
 	var p middleware.Progress
 	err := c.get("/progress/"+batchID, &p)
 	return p, err
+}
+
+// ProgressBatch implements service.BatchProgressGateway: the progress of
+// every named batch in one POST /progress-batch round-trip.
+func (c *DGClient) ProgressBatch(batchIDs []string) (map[string]middleware.Progress, error) {
+	var reply progressBatchReply
+	if err := c.post("/progress-batch", progressBatchRequest{IDs: batchIDs}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Progress, nil
 }
 
 // WorkerURL implements service.DGGateway; the answer is cached after the

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"testing"
 
 	"spequlos/internal/campaign"
@@ -117,12 +118,12 @@ func TestArtifactsMatchDirectRuns(t *testing.T) {
 	for _, mw := range Middlewares() {
 		for off := 0; off < p.Offsets; off++ {
 			sc := Scenario{Profile: p, Middleware: mw, TraceName: "seti", BotClass: "SMALL", Offset: off}
-			if direct := Run(sc); m.Pairs[i].Base != direct {
+			if direct := Run(sc); !reflect.DeepEqual(m.Pairs[i].Base, direct) {
 				t.Fatalf("pair %d baseline diverges from direct run", i)
 			}
 			scs := sc
 			scs.Strategy = &st
-			if direct := Run(scs); m.Pairs[i].Speq[st.Label()] != direct {
+			if direct := Run(scs); !reflect.DeepEqual(m.Pairs[i].Speq[st.Label()], direct) {
 				t.Fatalf("pair %d strategy run diverges from direct run", i)
 			}
 			i++

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"spequlos/internal/campaign"
+	"spequlos/internal/stats"
+)
+
+// crowdTestProfile is a reduced crowd: enough batches to measure fairness,
+// small enough for a unit test.
+func crowdTestProfile() Profile {
+	p := campaign.Crowd()
+	p.Batches = 12
+	p.SubmitSpread = 1800
+	return p
+}
+
+func TestBuildCrowd(t *testing.T) {
+	p := crowdTestProfile()
+	store := campaign.NewResultStore()
+	rep, stats, err := BuildCrowd(context.Background(), p, ArtifactOptions{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != stats.Planned || stats.Planned != 2*len(campaign.AllMiddlewares()) {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if len(rep.Rows) != len(campaign.AllMiddlewares()) {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Batches != p.Batches || row.Completed != p.Batches {
+			t.Errorf("%s: %d/%d batches completed", row.Middleware, row.Completed, row.Batches)
+		}
+		if row.MedianCompletion <= 0 || row.P90Completion < row.MedianCompletion ||
+			row.MaxCompletion < row.P90Completion {
+			t.Errorf("%s: quantiles out of order: %+v", row.Middleware, row)
+		}
+		if row.JainIndex <= 0 || row.JainIndex > 1 {
+			t.Errorf("%s: Jain index %v out of (0,1]", row.Middleware, row.JainIndex)
+		}
+		if row.CreditsAllocated <= 0 {
+			t.Errorf("%s: no credits provisioned", row.Middleware)
+		}
+	}
+
+	// Derivation is resumable: a second build over the same store executes
+	// nothing and produces the same report.
+	rep2, stats2, err := BuildCrowd(context.Background(), p, ArtifactOptions{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Executed != 0 || stats2.Cached != stats.Planned {
+		t.Fatalf("resume executed %d jobs, cached %d", stats2.Executed, stats2.Cached)
+	}
+	for i := range rep.Rows {
+		if rep.Rows[i] != rep2.Rows[i] {
+			t.Fatalf("derived rows diverge:\n  %+v\n  %+v", rep.Rows[i], rep2.Rows[i])
+		}
+	}
+
+	txt := rep.Render()
+	for _, want := range []string{"Crowd", "BOINC", "XWHEP", "CONDOR", "jain", "speedup"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("render missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestQuantileAndJain(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := stats.NearestRank(xs, 0.5); q != 2 {
+		t.Errorf("median = %v", q)
+	}
+	if q := stats.NearestRank(xs, 1); q != 4 {
+		t.Errorf("max = %v", q)
+	}
+	if q := stats.NearestRank(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+	if j := jainIndex([]float64{5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Errorf("even jain = %v", j)
+	}
+	// One busy user among idle ones: index tends to 1/n.
+	if j := jainIndex([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Errorf("skewed jain = %v", j)
+	}
+}

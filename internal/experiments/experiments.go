@@ -58,7 +58,11 @@ func Full() Profile { return campaign.Full() }
 // horizon); see campaign.Stress.
 func Stress() Profile { return campaign.Stress() }
 
-// ProfileByName resolves quick/standard/full/stress.
+// Crowd returns the multi-tenant stress profile (hundreds of concurrent
+// QoS batches on one 500-node trace); see campaign.Crowd.
+func Crowd() Profile { return campaign.Crowd() }
+
+// ProfileByName resolves quick/standard/full/stress/crowd.
 func ProfileByName(name string) (Profile, error) { return campaign.ProfileByName(name) }
 
 // Scenario is one simulation to run.

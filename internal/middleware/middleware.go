@@ -97,16 +97,21 @@ type WorkerObserver interface {
 // Listeners fans events out to multiple listeners.
 type Listeners []Listener
 
+// TaskAssigned implements Listener by fan-out.
 func (ls Listeners) TaskAssigned(b string, t int, at float64) {
 	for _, l := range ls {
 		l.TaskAssigned(b, t, at)
 	}
 }
+
+// TaskCompleted implements Listener by fan-out.
 func (ls Listeners) TaskCompleted(b string, t int, at float64) {
 	for _, l := range ls {
 		l.TaskCompleted(b, t, at)
 	}
 }
+
+// BatchCompleted implements Listener by fan-out.
 func (ls Listeners) BatchCompleted(b string, at float64) {
 	for _, l := range ls {
 		l.BatchCompleted(b, at)
@@ -120,6 +125,36 @@ func (ls Listeners) NotifyExecutedBy(b string, t int, w *Worker, at float64) {
 			o.TaskExecutedBy(b, t, w, at)
 		}
 	}
+}
+
+// BatchProgressor is an optional Server extension: one call returns the
+// progress of many batches at once. The SpeQuloS monitor loop uses it to
+// poll a server that hosts hundreds of concurrent QoS batches with a single
+// aggregated query per tick instead of one round-trip per batch — the same
+// batching lever BOINC's server-side scheduler applies at fleet scale.
+// Implementations must return the same values per-batch Progress calls
+// would at the same instant. The in-process simulators don't implement it —
+// for them ProgressAll's fallback loop costs the same as a method call —
+// it exists for servers where a round-trip has a price: the emulation
+// gateway (POST /progress-batch) and remote DG status adapters.
+type BatchProgressor interface {
+	// ProgressBatch returns the current view of every named batch, keyed
+	// by batch ID. Unknown IDs map to a zero Progress, mirroring Progress.
+	ProgressBatch(batchIDs []string) map[string]Progress
+}
+
+// ProgressAll answers an aggregated progress query against any server:
+// through one ProgressBatch call when the server supports it, falling back
+// to per-batch Progress calls otherwise.
+func ProgressAll(s Server, batchIDs []string) map[string]Progress {
+	if bp, ok := s.(BatchProgressor); ok {
+		return bp.ProgressBatch(batchIDs)
+	}
+	out := make(map[string]Progress, len(batchIDs))
+	for _, id := range batchIDs {
+		out[id] = s.Progress(id)
+	}
+	return out
 }
 
 // Server is the middleware-neutral surface consumed by the trace binding,

@@ -24,6 +24,20 @@ type DGGateway interface {
 	WorkerURL() string
 }
 
+// BatchProgressGateway is an optional DGGateway extension: one call returns
+// the server's view of many batches at once. The Scheduler's monitor loop
+// uses it to poll a DG that hosts hundreds of concurrent QoS batches with a
+// single aggregated round-trip per tick — without it, each tick costs one
+// Progress call per registered batch, the O(batches) polling wall that
+// collapses at fleet scale. internal/emul implements it on both sides of
+// the wire (POST /progress-batch).
+type BatchProgressGateway interface {
+	DGGateway
+	// ProgressBatch returns the server's view of every named batch, keyed
+	// by batch ID.
+	ProgressBatch(batchIDs []string) (map[string]middleware.Progress, error)
+}
+
 // WorkerStatusGateway is an optional DGGateway extension: gateways that can
 // report whether a launched instance's worker currently holds an assignment
 // enable the Greedy release policy (§3.5: "Cloud workers that do not have
@@ -227,21 +241,59 @@ func (s *SchedulerService) Instances() []cloud.InstanceInfo {
 }
 
 // Step runs one monitor iteration over every registered batch (the body of
-// Algorithms 1 and 2).
+// Algorithms 1 and 2). Against a BatchProgressGateway the DG is polled ONCE
+// for all active batches — the aggregated query that keeps the per-tick
+// gateway traffic O(1) in the number of registered batches; otherwise each
+// batch polls individually.
 func (s *SchedulerService) Step() error {
 	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
+	ids := make([]string, 0, len(s.order))
+	for _, id := range s.order {
+		if qb := s.batches[id]; qb != nil && !qb.Finalized {
+			ids = append(ids, id)
+		}
+	}
 	s.mu.Unlock()
+	if len(ids) == 0 {
+		return nil
+	}
+	var progress map[string]middleware.Progress
+	if bg, ok := s.dg.(BatchProgressGateway); ok {
+		p, err := bg.ProgressBatch(ids)
+		if err != nil {
+			// Transient gateway errors retry next tick, as with per-batch
+			// polling; no batch consumed a partial view.
+			return fmt.Errorf("scheduler: DG batch progress: %w", err)
+		}
+		progress = p
+	}
 	var firstErr error
 	for _, id := range ids {
-		if err := s.stepBatch(id); err != nil && firstErr == nil {
+		var pre *middleware.Progress
+		if progress != nil {
+			if p, ok := progress[id]; ok {
+				pre = &p
+			}
+		}
+		if err := s.stepBatch(id, pre); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
-func (s *SchedulerService) stepBatch(id string) error {
+// StepBatch runs one monitor iteration for a single batch, polling only
+// that batch. The emulation's event-driven finalization uses it so one
+// batch's completion settles its own billing at the completion instant
+// without advancing the other batches' monitor state between ticks (the
+// in-process simulator finalizes exactly one batch per completion event).
+func (s *SchedulerService) StepBatch(id string) error {
+	return s.stepBatch(id, nil)
+}
+
+// stepBatch runs one monitor iteration for one batch. pre is the batch's
+// progress from this tick's aggregated poll (nil ⇒ poll individually).
+func (s *SchedulerService) stepBatch(id string, pre *middleware.Progress) error {
 	// Claim the batch for this iteration: concurrent steps (daemon ticker
 	// plus external POST /step clients) must not double-bill or
 	// double-launch. Losing the claim is not an error — the other step is
@@ -260,10 +312,17 @@ func (s *SchedulerService) stepBatch(id string) error {
 		s.mu.Unlock()
 	}()
 
-	// Monitor: pull progress from the DG, push a sample to Information.
-	p, err := s.dg.Progress(id)
-	if err != nil {
-		return fmt.Errorf("scheduler: DG progress for %q: %w", id, err)
+	// Monitor: pull progress from the DG (unless the aggregated poll
+	// already fetched it), push a sample to Information.
+	var p middleware.Progress
+	if pre != nil {
+		p = *pre
+	} else {
+		var err error
+		p, err = s.dg.Progress(id)
+		if err != nil {
+			return fmt.Errorf("scheduler: DG progress for %q: %w", id, err)
+		}
 	}
 	now := s.Now()
 	elapsed := now.Sub(qb.StartedAt).Seconds()

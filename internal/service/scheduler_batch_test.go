@@ -1,0 +1,234 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/middleware"
+)
+
+// multiDG scripts per-batch progress under test control and counts every
+// gateway round-trip, so tests can assert the monitor loop's poll economy.
+type multiDG struct {
+	mu          sync.Mutex
+	progress    map[string]middleware.Progress
+	singleCalls int
+	batchCalls  int
+}
+
+func newMultiDG() *multiDG { return &multiDG{progress: map[string]middleware.Progress{}} }
+
+func (d *multiDG) set(id string, p middleware.Progress) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.progress[id] = p
+}
+
+func (d *multiDG) Progress(id string) (middleware.Progress, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.singleCalls++
+	return d.progress[id], nil
+}
+
+func (d *multiDG) ProgressBatch(ids []string) (map[string]middleware.Progress, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.batchCalls++
+	out := make(map[string]middleware.Progress, len(ids))
+	for _, id := range ids {
+		out[id] = d.progress[id]
+	}
+	return out, nil
+}
+
+func (d *multiDG) WorkerURL() string { return "http://dg.example:4321" }
+
+func (d *multiDG) calls() (single, batch int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.singleCalls, d.batchCalls
+}
+
+// singleOnlyDG hides ProgressBatch, forcing the per-batch polling fallback.
+type singleOnlyDG struct{ d *multiDG }
+
+func (s singleOnlyDG) Progress(id string) (middleware.Progress, error) { return s.d.Progress(id) }
+func (s singleOnlyDG) WorkerURL() string                               { return s.d.WorkerURL() }
+
+var _ BatchProgressGateway = (*multiDG)(nil)
+
+// TestStepBatchedPollingIsO1 is the tentpole scaling assertion: with a
+// gateway that supports aggregated progress queries, one monitor tick over
+// N registered batches costs exactly ONE gateway poll, not N.
+func TestStepBatchedPollingIsO1(t *testing.T) {
+	const batches = 64
+	dg := newMultiDG()
+	stack := NewTestStack(StackConfig{Strategy: core.DefaultStrategy(), DG: dg})
+	defer stack.Close()
+
+	for i := 0; i < batches; i++ {
+		id := fmt.Sprintf("b%03d", i)
+		dg.set(id, middleware.Progress{Size: 10, Arrived: 10, Running: 10})
+		if err := stack.Scheduler.RegisterQoS(QoSRequest{
+			User: "u", BatchID: id, EnvKey: "e", Size: 10,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := stack.Scheduler.Step(); err != nil {
+		t.Fatal(err)
+	}
+	single, batch := dg.calls()
+	if batch != 1 {
+		t.Fatalf("aggregated polls per tick = %d, want 1", batch)
+	}
+	if single != 0 {
+		t.Fatalf("per-batch polls = %d, want 0 (gateway supports batching)", single)
+	}
+
+	// Two more ticks stay O(1) each.
+	for i := 0; i < 2; i++ {
+		if err := stack.Scheduler.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, batch := dg.calls(); batch != 3 {
+		t.Fatalf("aggregated polls after 3 ticks = %d, want 3", batch)
+	}
+}
+
+// TestStepFallbackPollsPerBatch pins the fallback: a gateway without
+// ProgressBatch is polled once per registered batch, preserving the
+// pre-batching wire behavior for external adapters.
+func TestStepFallbackPollsPerBatch(t *testing.T) {
+	const batches = 8
+	dg := newMultiDG()
+	stack := NewTestStack(StackConfig{Strategy: core.DefaultStrategy(), DG: singleOnlyDG{dg}})
+	defer stack.Close()
+
+	for i := 0; i < batches; i++ {
+		id := fmt.Sprintf("b%03d", i)
+		dg.set(id, middleware.Progress{Size: 10, Arrived: 10, Running: 10})
+		if err := stack.Scheduler.RegisterQoS(QoSRequest{
+			User: "u", BatchID: id, EnvKey: "e", Size: 10,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := stack.Scheduler.Step(); err != nil {
+		t.Fatal(err)
+	}
+	single, batch := dg.calls()
+	if single != batches || batch != 0 {
+		t.Fatalf("fallback polls = (single %d, batch %d), want (%d, 0)", single, batch, batches)
+	}
+}
+
+// twoBatchOutcome is one batch's end state in the equivalence comparison.
+type twoBatchOutcome struct {
+	Status QoSStatus
+	Billed float64
+}
+
+// driveTwoBatches runs an identical scripted 2-batch QoS episode through a
+// scheduler wired to the given gateway and returns the per-batch outcomes.
+// The script crosses the 9C trigger threshold, finishes batch a before
+// batch b, and advances a virtual clock one monitor period per step.
+func driveTwoBatches(t *testing.T, dg DGGateway, script *multiDG) map[string]twoBatchOutcome {
+	t.Helper()
+	driver := cloud.NewMockDriver("mock", time.Second, 0.10)
+	stack := NewTestStack(StackConfig{
+		Strategy: core.DefaultStrategy(),
+		Registry: cloud.NewRegistry(driver),
+		DG:       dg,
+	})
+	defer stack.Close()
+	epoch := time.Unix(0, 0).UTC()
+	now := epoch
+	stack.SetClock(func() time.Time { return now })
+	driver.SetClock(func() time.Time { return now })
+
+	for _, id := range []string{"a", "b"} {
+		script.set(id, middleware.Progress{Size: 100, Arrived: 100, Running: 100})
+		if err := stack.CreditClient.Deposit("u", 200); err != nil {
+			t.Fatal(err)
+		}
+		if err := stack.Scheduler.RegisterQoS(QoSRequest{
+			User: "u", BatchID: id, EnvKey: "e/" + id, Size: 100,
+			Credits: 90, Provider: "mock", Image: "img",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// completed(a), completed(b) per scripted step.
+	steps := [][2]int{{10, 5}, {50, 40}, {92, 80}, {96, 91}, {100, 95}, {100, 100}}
+	for _, st := range steps {
+		now = now.Add(60 * time.Second)
+		script.set("a", middleware.Progress{Size: 100, Arrived: 100,
+			Completed: st[0], EverAssigned: 100, Running: 100 - st[0]})
+		script.set("b", middleware.Progress{Size: 100, Arrived: 100,
+			Completed: st[1], EverAssigned: 100, Running: 100 - st[1]})
+		if err := stack.Scheduler.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out := map[string]twoBatchOutcome{}
+	for _, id := range []string{"a", "b"} {
+		st, err := stack.Scheduler.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := stack.CreditClient.OrderOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[id] = twoBatchOutcome{Status: st, Billed: order.Billed}
+	}
+	return out
+}
+
+// TestBatchedStepMatchesPerBatchStep is the acceptance equivalence: an
+// identical 2-batch cell driven through the aggregated poll and through
+// per-batch polling produces the same per-batch trigger, fleet, credits
+// and completion state.
+func TestBatchedStepMatchesPerBatchStep(t *testing.T) {
+	batchedScript := newMultiDG()
+	batched := driveTwoBatches(t, batchedScript, batchedScript)
+
+	seqScript := newMultiDG()
+	sequential := driveTwoBatches(t, singleOnlyDG{seqScript}, seqScript)
+
+	if _, bc := batchedScript.calls(); bc == 0 {
+		t.Fatal("batched run never used the aggregated poll")
+	}
+	if sc, bc := seqScript.calls(); bc != 0 || sc == 0 {
+		t.Fatalf("sequential run polls = (single %d, batch %d)", sc, bc)
+	}
+
+	for key, want := range sequential {
+		got, ok := batched[key]
+		if !ok {
+			t.Fatalf("batched run missing %q", key)
+		}
+		if got.Status.Started != want.Status.Started ||
+			got.Status.Exhausted != want.Status.Exhausted ||
+			got.Status.Finalized != want.Status.Finalized ||
+			got.Status.TriggeredAt != want.Status.TriggeredAt ||
+			len(got.Status.Instances) != len(want.Status.Instances) ||
+			got.Billed != want.Billed {
+			t.Errorf("%s diverged:\n  batched:    %+v\n  sequential: %+v", key, got, want)
+		}
+	}
+	// The episode must have exercised the cloud path, or the comparison is
+	// vacuous.
+	if !batched["a"].Status.Started || batched["a"].Billed <= 0 {
+		t.Fatalf("cloud support never engaged: %+v", batched["a"])
+	}
+}

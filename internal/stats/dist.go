@@ -21,24 +21,39 @@ type Dist interface {
 // Constant is a degenerate distribution.
 type Constant struct{ Value float64 }
 
+// Sample implements Dist.
 func (c Constant) Sample(*rand.Rand) float64 { return c.Value }
-func (c Constant) Mean() float64             { return c.Value }
-func (c Constant) String() string            { return fmt.Sprintf("const(%g)", c.Value) }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.Value }
+
+// String implements Dist.
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.Value) }
 
 // Uniform is the continuous uniform distribution on [Lo, Hi).
 type Uniform struct{ Lo, Hi float64 }
 
+// Sample implements Dist.
 func (u Uniform) Sample(r *rand.Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
-func (u Uniform) Mean() float64               { return (u.Lo + u.Hi) / 2 }
-func (u Uniform) String() string              { return fmt.Sprintf("unif(%g,%g)", u.Lo, u.Hi) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// String implements Dist.
+func (u Uniform) String() string { return fmt.Sprintf("unif(%g,%g)", u.Lo, u.Hi) }
 
 // Normal is the Gaussian distribution with mean Mu and standard deviation
 // Sigma.
 type Normal struct{ Mu, Sigma float64 }
 
+// Sample implements Dist.
 func (n Normal) Sample(r *rand.Rand) float64 { return n.Mu + n.Sigma*r.NormFloat64() }
-func (n Normal) Mean() float64               { return n.Mu }
-func (n Normal) String() string              { return fmt.Sprintf("norm(µ=%g,σ=%g)", n.Mu, n.Sigma) }
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// String implements Dist.
+func (n Normal) String() string { return fmt.Sprintf("norm(µ=%g,σ=%g)", n.Mu, n.Sigma) }
 
 // TruncatedNormal is a Gaussian resampled (up to 64 tries, then clamped)
 // into [Lo, Hi]. It models node power heterogeneity, which must stay
@@ -48,6 +63,7 @@ type TruncatedNormal struct {
 	Lo, Hi    float64
 }
 
+// Sample implements Dist.
 func (n TruncatedNormal) Sample(r *rand.Rand) float64 {
 	for i := 0; i < 64; i++ {
 		v := n.Mu + n.Sigma*r.NormFloat64()
@@ -57,7 +73,11 @@ func (n TruncatedNormal) Sample(r *rand.Rand) float64 {
 	}
 	return math.Min(math.Max(n.Mu, n.Lo), n.Hi)
 }
-func (n TruncatedNormal) Mean() float64 { return n.Mu } // approximation for mild truncation
+
+// Mean implements Dist (an approximation for mild truncation).
+func (n TruncatedNormal) Mean() float64 { return n.Mu }
+
+// String implements Dist.
 func (n TruncatedNormal) String() string {
 	return fmt.Sprintf("tnorm(µ=%g,σ=%g,[%g,%g])", n.Mu, n.Sigma, n.Lo, n.Hi)
 }
@@ -65,24 +85,35 @@ func (n TruncatedNormal) String() string {
 // LogNormal is the log-normal distribution: ln X ~ N(Mu, Sigma²).
 type LogNormal struct{ Mu, Sigma float64 }
 
+// Sample implements Dist.
 func (l LogNormal) Sample(r *rand.Rand) float64 {
 	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
 }
-func (l LogNormal) Mean() float64  { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// String implements Dist.
 func (l LogNormal) String() string { return fmt.Sprintf("lognorm(µ=%g,σ=%g)", l.Mu, l.Sigma) }
 
 // Exponential is the exponential distribution with the given rate λ.
 type Exponential struct{ Rate float64 }
 
+// Sample implements Dist.
 func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() / e.Rate }
-func (e Exponential) Mean() float64               { return 1 / e.Rate }
-func (e Exponential) String() string              { return fmt.Sprintf("exp(λ=%g)", e.Rate) }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// String implements Dist.
+func (e Exponential) String() string { return fmt.Sprintf("exp(λ=%g)", e.Rate) }
 
 // Weibull is the Weibull distribution with scale Lambda and shape K, used
 // by the RANDOM BoT class's task inter-arrival process
 // (Table 3: weib(λ=91.98, k=0.57), following Minh & Wolters).
 type Weibull struct{ Lambda, K float64 }
 
+// Sample implements Dist (inverse-CDF sampling).
 func (w Weibull) Sample(r *rand.Rand) float64 {
 	u := r.Float64()
 	for u == 0 {
@@ -90,7 +121,11 @@ func (w Weibull) Sample(r *rand.Rand) float64 {
 	}
 	return w.Lambda * math.Pow(-math.Log(u), 1/w.K)
 }
-func (w Weibull) Mean() float64  { return w.Lambda * math.Gamma(1+1/w.K) }
+
+// Mean implements Dist.
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+
+// String implements Dist.
 func (w Weibull) String() string { return fmt.Sprintf("weib(λ=%g,k=%g)", w.Lambda, w.K) }
 
 // Quantile returns the Weibull inverse CDF at p in (0,1).

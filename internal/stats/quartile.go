@@ -170,6 +170,7 @@ func (d QuartileDist) Mean() float64 {
 	return sum * h / 3
 }
 
+// String implements Dist.
 func (d QuartileDist) String() string {
 	return fmt.Sprintf("quartiles(%g,%g,%g)", d.Q25, d.Q50, d.Q75)
 }

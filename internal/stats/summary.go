@@ -53,6 +53,7 @@ func Summarize(xs []float64) Summary {
 	return out
 }
 
+// String renders the summary on one line.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g q25=%.4g med=%.4g q75=%.4g max=%.4g",
 		s.N, s.Mean, s.Std, s.Min, s.Q25, s.Q50, s.Q75, s.Max)
@@ -89,6 +90,28 @@ func Quantile(xs []float64, p float64) float64 {
 	copy(s, xs)
 	sort.Float64s(s)
 	return QuantileSorted(s, p)
+}
+
+// NearestRank sorts a copy of the sample and returns the p-quantile by the
+// nearest-rank rule (⌈p·n⌉-th smallest value, 0 for an empty sample).
+// Unlike Quantile it never interpolates: the result is always an observed
+// value, which is what per-batch completion-time reports quote (a median
+// of "12547s" names a real batch's completion, not a synthetic midpoint).
+func NearestRank(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	i := int(math.Ceil(p*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
 }
 
 // CDFPoint is one point of an empirical distribution function.

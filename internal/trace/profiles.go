@@ -87,6 +87,7 @@ func ProfileByName(name string) (Profile, bool) {
 // Class labels BE-DCI types, matching the grouping of Table 1.
 type Class string
 
+// The three BE-DCI classes of Table 1.
 const (
 	ClassDesktopGrid    Class = "Desktop Grids"
 	ClassBestEffortGrid Class = "Best Effort Grids"

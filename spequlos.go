@@ -111,6 +111,17 @@ func StandardProfile() Profile { return experiments.Standard() }
 // FullProfile returns the paper-scale profile.
 func FullProfile() Profile { return experiments.Full() }
 
+// StressProfile returns the kernel stress profile (10× quick churn over a
+// 30-day horizon).
+func StressProfile() Profile { return experiments.Stress() }
+
+// CrowdProfile returns the multi-tenant stress profile: one 500-node trace
+// serving 200 concurrent QoS batches, each with its own credit order and
+// trigger, monitored through one aggregated DG poll per tick. Scenario
+// cells under it carry Profile.Batches interleaved BoTs and report
+// per-batch outcomes in Result.Batches.
+func CrowdProfile() Profile { return experiments.Crowd() }
+
 // Simulate runs one scenario to completion and returns its metrics. Runs
 // are deterministic in the scenario's seed; pairing a baseline and a
 // SpeQuloS run of the same scenario reproduces the paper's paired
