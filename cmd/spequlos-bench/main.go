@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		profile    = flag.String("profile", "standard", "experiment profile: quick standard full stress crowd")
+		profile    = flag.String("profile", "standard", "experiment profile: quick standard full stress crowd crowd2k")
 		out        = flag.String("out", "results", "output directory")
 		strats     = flag.String("strategies", "all", "comma-separated strategy labels for the sweep, or 'all'")
 		storePath  = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
@@ -64,10 +64,11 @@ func main() {
 		fatal(err)
 	}
 
-	// Multi-batch profiles (crowd) run the concurrency campaign instead of
-	// the paper artifact matrix: per middleware, hundreds of QoS batches
-	// share one trace (default strategy + paired baseline), and the report
-	// measures per-user fairness and the service's poll economy. The
+	// Multi-batch profiles (crowd, crowd2k) run the concurrency campaign
+	// instead of the paper artifact matrix: per middleware, hundreds to
+	// thousands of QoS batches share one trace (default strategy + paired
+	// baseline), and the report measures per-user fairness — per tier when
+	// the profile is tiered — and the service's poll economy. The
 	// matrix-shaping flags do not apply there; reject non-default values
 	// instead of silently mislabeling a sweep the campaign never ran.
 	if p.Batches > 1 {

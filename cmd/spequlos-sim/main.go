@@ -44,7 +44,7 @@ func main() {
 		tn        = flag.String("trace", "seti", "BE-DCI trace: seti nd g5klyo g5kgre spot10 spot100")
 		bc        = flag.String("bot", "SMALL", "BoT class: SMALL BIG RANDOM")
 		strategy  = flag.String("strategy", "9C-C-R", "strategy label, 'none' or 'all'")
-		profile   = flag.String("profile", "standard", "experiment profile: quick standard full stress crowd (crowd cells interleave hundreds of QoS batches)")
+		profile   = flag.String("profile", "standard", "experiment profile: quick standard full stress crowd crowd2k (crowd cells interleave hundreds of QoS batches; crowd2k runs 2000 tiered batches)")
 		offset    = flag.Int("offset", 0, "submission offset index (changes the seed)")
 		storePath = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
 		emulate   = flag.Bool("emulate", false, "also run each strategy cell through the deployable HTTP stack and report conformance")
@@ -211,6 +211,26 @@ func reportCrowd(r experiments.Result) {
 	if r.Strategy != "" {
 		fmt.Printf("  cloud: %d instances, credits %.1f/%.1f\n",
 			r.Instances, r.CreditsBilled, r.CreditsAllocated)
+	}
+	// Tiered cells break the completion spread down per service class.
+	for _, t := range core.AllTiers() {
+		var tTimes []float64
+		n := 0
+		for _, br := range r.Batches {
+			if br.Tier == "" || core.Tier(br.Tier).OrFree() != t {
+				continue
+			}
+			n++
+			if br.Completed {
+				tTimes = append(tTimes, br.CompletionTime)
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		tq := func(f float64) float64 { return stats.NearestRank(tTimes, f) }
+		fmt.Printf("  tier %-10s %4d batches (%d completed): median %.0fs, p90 %.0fs, max %.0fs\n",
+			t, n, len(tTimes), tq(0.5), tq(0.9), tq(1))
 	}
 }
 

@@ -51,6 +51,8 @@ func main() {
 		period   = flag.Duration("period", time.Minute, "scheduler monitor period")
 		demoDur  = flag.Duration("demo-duration", 10*time.Minute, "demo DG: time a batch takes to complete")
 		stateDir = flag.String("state-dir", "", "directory for JSON state snapshots (empty = in-memory only)")
+		tiered   = flag.Bool("tiers", false, "enable the enterprise/premium/free tier admission policy")
+		fleetCap = flag.Int("fleet-cap", 0, "with -tiers: max batches holding cloud support at once (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,10 @@ func main() {
 	oracle := service.NewOracleService(oracleCore, infoClient)
 	dg := newDemoDG(*demoDur)
 	sched := service.NewSchedulerService(infoClient, creditClient, oracleClient, cloud.DefaultRegistry(), dg)
+	if *tiered {
+		sched.TierPolicy = core.DefaultTierPolicy()
+		sched.TierPolicy.FleetCap = *fleetCap
+	}
 
 	mux := service.Mux(info, credit, oracle, sched)
 

@@ -45,6 +45,11 @@ func (j Job) Key() string {
 	multi := ""
 	if p.Batches > 1 {
 		multi = fmt.Sprintf(",nb%d,ss%g", p.Batches, p.SubmitSpread)
+		// Tier arbitration changes decisions, so tiered cells key on it;
+		// the shard count does not (deterministic merge) and stays out.
+		if p.Tiered {
+			multi += fmt.Sprintf(",tiered,fc%d", p.FleetCap)
+		}
 	}
 	return fmt.Sprintf("%s@bs%g,pc%d,h%g,cf%g%s|%s|%s|%s|%d|%s|%d",
 		p.Name, p.BotScale, p.PoolCap, p.HorizonDays, p.CreditFraction, multi,

@@ -227,6 +227,13 @@ func executeMulti(j Job, horizon float64) Entry {
 				return xwhep.New(eng, xwhep.DefaultConfig())
 			}
 		}
+		if sc.Profile.Shards > 0 && cfg.Shards == 0 {
+			cfg.Shards = sc.Profile.Shards
+		}
+		if sc.Profile.Tiered && cfg.Tiers == nil {
+			cfg.Tiers = core.DefaultTierPolicy()
+			cfg.Tiers.FleetCap = sc.Profile.FleetCap
+		}
 		svc = core.NewService(eng, srv, simCloud, cfg)
 	}
 
@@ -242,14 +249,16 @@ func executeMulti(j Job, horizon float64) Entry {
 		}
 		id := sc.SubBotID(k)
 		at := sc.SubmitAt(k)
+		tier := sc.SubTier(k)
 		res.Batches[k] = BatchResult{
 			BatchID: id, SubmittedAt: at, Size: workload.Size(), TriggeredAt: -1,
+			Tier: string(tier),
 		}
 		res.Size += workload.Size()
 		br := &res.Batches[k]
 		eng.At(at, func() {
 			if svc != nil {
-				if err := svc.RegisterQoS("user", id, sc.EnvKey(), workload.Size()); err != nil {
+				if err := svc.RegisterQoSTier("user", id, sc.EnvKey(), workload.Size(), tier); err != nil {
 					panic(err)
 				}
 				credits := creditFraction * workload.WorkloadCPUHours() * svc.Credits.Rate()

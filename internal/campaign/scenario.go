@@ -116,6 +116,20 @@ type Profile struct {
 	// are what make the crowd cell exercise concurrent monitor state
 	// rather than a single synchronized wave.
 	SubmitSpread float64 `json:",omitempty"`
+	// Tiered assigns each sub-batch a QoS service class (enterprise /
+	// premium / free via SubTier) and runs the service with the default
+	// tier policy, so cloud supply is arbitrated by weighted admission
+	// when contended. Omitted from JSON when false so untiered profiles
+	// keep their stored byte shape.
+	Tiered bool `json:",omitempty"`
+	// FleetCap bounds how many batches may hold cloud support at once when
+	// Tiered (0 = unlimited); it is what makes the tier queues contend.
+	FleetCap int `json:",omitempty"`
+	// Shards overrides the scheduler's plan-phase worker-pool size for the
+	// cell's service (0 = GOMAXPROCS). Shard count never changes results —
+	// the monitor merges per-shard steps deterministically — so it is not
+	// part of the job key.
+	Shards int `json:",omitempty"`
 }
 
 // Quick returns the bench profile (small BoTs, small pools).
@@ -170,7 +184,22 @@ func Crowd() Profile {
 	}
 }
 
-// ProfileByName resolves quick/standard/full/stress/crowd.
+// Crowd2K returns the tiered multi-tenant scale profile: 2 000 concurrent
+// QoS batches on one 500-node trace, submissions staggered over a day,
+// split across the enterprise/premium/free service classes (SubTier) with
+// a 120-batch cloud fleet cap — the contended-supply shape the tier model
+// arbitrates. It exists to prove the sharded monitor holds at 10× the
+// crowd profile; spequlos-bench records its trajectory in BENCH_crowd2k.json.
+func Crowd2K() Profile {
+	return Profile{
+		Name: "crowd2k", BotScale: 0.01, Offsets: 1, PoolCap: 500,
+		HorizonDays: 8, CreditFraction: 0.10,
+		Batches: 2000, SubmitSpread: 24 * 3600,
+		Tiered: true, FleetCap: 120,
+	}
+}
+
+// ProfileByName resolves quick/standard/full/stress/crowd/crowd2k.
 func ProfileByName(name string) (Profile, error) {
 	switch name {
 	case "quick":
@@ -183,6 +212,8 @@ func ProfileByName(name string) (Profile, error) {
 		return Stress(), nil
 	case "crowd":
 		return Crowd(), nil
+	case "crowd2k":
+		return Crowd2K(), nil
 	}
 	return Profile{}, fmt.Errorf("campaign: unknown profile %q", name)
 }
@@ -280,6 +311,23 @@ func (sc Scenario) SubmitAt(k int) float64 {
 	return sc.Profile.SubmitSpread * float64(k) / float64(n)
 }
 
+// SubTier returns the QoS service class of sub-batch k in a tiered cell:
+// a deterministic 20/30/50 enterprise/premium/free split by batch index.
+// Untiered cells return the empty tier (legacy single-tenant behavior).
+func (sc Scenario) SubTier(k int) core.Tier {
+	if !sc.Profile.Tiered {
+		return ""
+	}
+	switch k % 10 {
+	case 0, 1:
+		return core.TierEnterprise
+	case 2, 3, 4:
+		return core.TierPremium
+	default:
+		return core.TierFree
+	}
+}
+
 // SubWorkload generates sub-batch k's BoT deterministically.
 func (sc Scenario) SubWorkload(k int) (*bot.BoT, error) {
 	class, ok := bot.ClassByName(sc.BotClass)
@@ -351,6 +399,10 @@ type BatchResult struct {
 	CreditsBilled    float64
 	Instances        int
 	TriggeredAt      float64 // seconds from submission; -1 if never
+	// Tier is the batch's QoS service class in a tiered cell ("" when the
+	// cell ran untiered; omitted from JSON so untiered stores keep their
+	// byte shape).
+	Tier string `json:",omitempty"`
 }
 
 // EnvKey mirrors Scenario.EnvKey.

@@ -13,12 +13,31 @@ const CreditsPerCPUHour = 15.0
 // CreditSystem is the SpeQuloS billing and accounting module: it manages
 // user accounts, QoS orders attached to BoTs, per-period billing of cloud
 // usage, and the final payment that refunds unspent credits (§3.3). It is
-// safe for concurrent use.
+// safe for concurrent use, and scales under contention: the maps are only
+// guarded for lookup and insertion, while every account and order carries
+// its own lock, so scheduler shards billing different batches never
+// serialize on a global mutex. Lock order is maps → order → account; the
+// map lock is never acquired while an entry lock is held.
 type CreditSystem struct {
-	mu       sync.Mutex
-	accounts map[string]*Account
-	orders   map[string]*Order
+	mu       sync.RWMutex // guards the maps; entry locks guard the values
+	accounts map[string]*creditAccount
+	orders   map[string]*creditOrder
 	rate     float64
+}
+
+// creditAccount stripes the ledger per account: the embedded value is
+// guarded by its own lock, not the CreditSystem mutex. User is immutable
+// after creation and may be read without the lock.
+type creditAccount struct {
+	mu sync.Mutex
+	Account
+}
+
+// creditOrder stripes the ledger per order. BatchID and User are immutable
+// after creation and may be read without the lock.
+type creditOrder struct {
+	mu sync.Mutex
+	Order
 }
 
 // Account is a user's credit account.
@@ -43,8 +62,8 @@ func (o *Order) Remaining() float64 { return o.Allocated - o.Billed }
 // NewCreditSystem returns a credit system with the paper's exchange rate.
 func NewCreditSystem() *CreditSystem {
 	return &CreditSystem{
-		accounts: map[string]*Account{},
-		orders:   map[string]*Order{},
+		accounts: map[string]*creditAccount{},
+		orders:   map[string]*creditOrder{},
 		rate:     CreditsPerCPUHour,
 	}
 }
@@ -65,26 +84,46 @@ func (cs *CreditSystem) Deposit(user string, credits float64) error {
 	if credits < 0 {
 		return fmt.Errorf("credit: negative deposit %g", credits)
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	cs.account(user).Balance += credits
+	a := cs.account(user)
+	a.mu.Lock()
+	a.Balance += credits
+	a.mu.Unlock()
 	return nil
 }
 
-func (cs *CreditSystem) account(user string) *Account {
+// account returns the user's entry, creating it on first use. It takes the
+// map lock only; callers lock the entry before touching balances.
+func (cs *CreditSystem) account(user string) *creditAccount {
+	cs.mu.RLock()
 	a, ok := cs.accounts[user]
-	if !ok {
-		a = &Account{User: user}
-		cs.accounts[user] = a
+	cs.mu.RUnlock()
+	if ok {
+		return a
 	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if a, ok := cs.accounts[user]; ok {
+		return a
+	}
+	a = &creditAccount{Account: Account{User: user}}
+	cs.accounts[user] = a
 	return a
+}
+
+// orderOf returns the batch's order entry, if any.
+func (cs *CreditSystem) orderOf(batchID string) (*creditOrder, bool) {
+	cs.mu.RLock()
+	o, ok := cs.orders[batchID]
+	cs.mu.RUnlock()
+	return o, ok
 }
 
 // AccountOf returns a copy of the user's account state.
 func (cs *CreditSystem) AccountOf(user string) Account {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return *cs.account(user)
+	a := cs.account(user)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.Account
 }
 
 // OrderQoS provisions credits from the user's account for a BoT (§3.3:
@@ -94,27 +133,45 @@ func (cs *CreditSystem) OrderQoS(user, batchID string, credits float64) error {
 	if credits <= 0 {
 		return fmt.Errorf("credit: order must be positive, got %g", credits)
 	}
+	// Order creation takes the map write lock for the whole check-and-insert
+	// so two concurrent orders for one batch cannot both pass the "already
+	// open" test. Orders are rare (once per batch) — billing never comes
+	// through here.
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	if o, ok := cs.orders[batchID]; ok && !o.Closed {
-		return fmt.Errorf("credit: batch %q already has an open order", batchID)
+	if o, ok := cs.orders[batchID]; ok {
+		o.mu.Lock()
+		open := !o.Closed
+		o.mu.Unlock()
+		if open {
+			return fmt.Errorf("credit: batch %q already has an open order", batchID)
+		}
 	}
-	a := cs.account(user)
+	a, ok := cs.accounts[user]
+	if !ok {
+		a = &creditAccount{Account: Account{User: user}}
+		cs.accounts[user] = a
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.Balance < credits {
 		return fmt.Errorf("credit: %s has %.1f credits, needs %.1f", user, a.Balance, credits)
 	}
 	a.Balance -= credits
-	cs.orders[batchID] = &Order{BatchID: batchID, User: user, Allocated: credits}
+	cs.orders[batchID] = &creditOrder{Order: Order{BatchID: batchID, User: user, Allocated: credits}}
 	return nil
 }
 
 // HasCredits reports whether the batch has an open order with credits left
 // (Algorithm 1's CreditSystem.hasCredits).
 func (cs *CreditSystem) HasCredits(batchID string) bool {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	o, ok := cs.orders[batchID]
-	return ok && !o.Closed && o.Remaining() > 1e-9
+	o, ok := cs.orderOf(batchID)
+	if !ok {
+		return false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return !o.Closed && o.Remaining() > 1e-9
 }
 
 // Bill charges cloud usage against the batch's order (Algorithm 2's
@@ -124,10 +181,13 @@ func (cs *CreditSystem) Bill(batchID string, credits float64) (billed float64, e
 	if credits < 0 {
 		return 0, false, fmt.Errorf("credit: negative bill %g", credits)
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	o, ok := cs.orders[batchID]
-	if !ok || o.Closed {
+	o, ok := cs.orderOf(batchID)
+	if !ok {
+		return 0, true, fmt.Errorf("credit: no open order for batch %q", batchID)
+	}
+	o.mu.Lock()
+	if o.Closed {
+		o.mu.Unlock()
 		return 0, true, fmt.Errorf("credit: no open order for batch %q", batchID)
 	}
 	billed = credits
@@ -136,7 +196,11 @@ func (cs *CreditSystem) Bill(batchID string, credits float64) (billed float64, e
 		exhausted = true
 	}
 	o.Billed += billed
-	cs.account(o.User).Spent += billed
+	o.mu.Unlock()
+	a := cs.account(o.User)
+	a.mu.Lock()
+	a.Spent += billed
+	a.mu.Unlock()
 	return billed, exhausted, nil
 }
 
@@ -144,40 +208,44 @@ func (cs *CreditSystem) Bill(batchID string, credits float64) (billed float64, e
 // the BoT execution was completed before all the credits have been spent,
 // the Credit System transfers back the remaining credits").
 func (cs *CreditSystem) Pay(batchID string) (refund float64, err error) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	o, ok := cs.orders[batchID]
+	o, ok := cs.orderOf(batchID)
 	if !ok {
 		return 0, fmt.Errorf("credit: no order for batch %q", batchID)
 	}
+	o.mu.Lock()
 	if o.Closed {
+		o.mu.Unlock()
 		return 0, nil
 	}
 	o.Closed = true
 	refund = o.Remaining()
-	cs.account(o.User).Balance += refund
+	o.mu.Unlock()
+	a := cs.account(o.User)
+	a.mu.Lock()
+	a.Balance += refund
+	a.mu.Unlock()
 	return refund, nil
 }
 
 // OrderOf returns a copy of the batch's order.
 func (cs *CreditSystem) OrderOf(batchID string) (Order, bool) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	o, ok := cs.orders[batchID]
+	o, ok := cs.orderOf(batchID)
 	if !ok {
 		return Order{}, false
 	}
-	return *o, true
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.Order, true
 }
 
 // Users lists known accounts, sorted.
 func (cs *CreditSystem) Users() []string {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
+	cs.mu.RLock()
 	out := make([]string, 0, len(cs.accounts))
 	for u := range cs.accounts {
 		out = append(out, u)
 	}
+	cs.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -218,9 +286,15 @@ func (p FixedPolicy) Name() string { return fmt.Sprintf("fixed(%g)", p.Amount) }
 
 // ApplyPolicy runs a deposit policy over every account.
 func (cs *CreditSystem) ApplyPolicy(p DepositPolicy) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
+	cs.mu.RLock()
+	accounts := make([]*creditAccount, 0, len(cs.accounts))
 	for _, a := range cs.accounts {
-		a.Balance += p.Apply(*a)
+		accounts = append(accounts, a)
+	}
+	cs.mu.RUnlock()
+	for _, a := range accounts {
+		a.mu.Lock()
+		a.Balance += p.Apply(a.Account)
+		a.mu.Unlock()
 	}
 }

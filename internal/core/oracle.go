@@ -31,6 +31,10 @@ func (t CompletionThreshold) ShouldStart(bi *BatchInfo) bool {
 	return bi.CompletedFraction() >= t.Frac
 }
 
+// CountDriven implements CountDrivenTrigger: the answer only changes with
+// the completed-task count.
+func (CompletionThreshold) CountDriven() {}
+
 // AssignmentThreshold (9A) starts cloud workers once the ever-assigned
 // fraction reaches Frac.
 type AssignmentThreshold struct{ Frac float64 }
@@ -44,6 +48,10 @@ func (t AssignmentThreshold) Code() string {
 func (t AssignmentThreshold) ShouldStart(bi *BatchInfo) bool {
 	return bi.AssignedFraction() >= t.Frac
 }
+
+// CountDriven implements CountDrivenTrigger: the answer only changes with
+// the ever-assigned count.
+func (AssignmentThreshold) CountDriven() {}
 
 // ExecutionVariance (D) starts cloud workers when var(c) = tc(c) − ta(c)
 // doubles versus the maximum observed during the first half of the
@@ -71,6 +79,10 @@ func (ExecutionVariance) ShouldStart(bi *BatchInfo) bool {
 	}
 	return cur >= 2*ref
 }
+
+// CountDriven implements CountDrivenTrigger: var(c) is built from the
+// tc/ta milestone caches, which only move when task counters move.
+func (ExecutionVariance) CountDriven() {}
 
 // Sizing decides how many cloud workers to start, given the credit
 // allowance expressed in CPU·hours (§3.5).

@@ -76,8 +76,8 @@ type creditSnapshot struct {
 
 // WriteJSON serializes accounts and orders.
 func (cs *CreditSystem) WriteJSON(w io.Writer) error {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
 	snap := creditSnapshot{}
 	users := make([]string, 0, len(cs.accounts))
 	for u := range cs.accounts {
@@ -85,7 +85,10 @@ func (cs *CreditSystem) WriteJSON(w io.Writer) error {
 	}
 	sort.Strings(users)
 	for _, u := range users {
-		snap.Accounts = append(snap.Accounts, *cs.accounts[u])
+		a := cs.accounts[u]
+		a.mu.Lock()
+		snap.Accounts = append(snap.Accounts, a.Account)
+		a.mu.Unlock()
 	}
 	ids := make([]string, 0, len(cs.orders))
 	for id := range cs.orders {
@@ -93,7 +96,10 @@ func (cs *CreditSystem) WriteJSON(w io.Writer) error {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		snap.Orders = append(snap.Orders, *cs.orders[id])
+		o := cs.orders[id]
+		o.mu.Lock()
+		snap.Orders = append(snap.Orders, o.Order)
+		o.mu.Unlock()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -110,12 +116,10 @@ func ReadCreditSystem(r io.Reader) (*CreditSystem, error) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	for _, a := range snap.Accounts {
-		a := a
-		cs.accounts[a.User] = &a
+		cs.accounts[a.User] = &creditAccount{Account: a}
 	}
 	for _, o := range snap.Orders {
-		o := o
-		cs.orders[o.BatchID] = &o
+		cs.orders[o.BatchID] = &creditOrder{Order: o}
 	}
 	return cs, nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports that this binary was built with -race: the
+// detector slows CPU-bound code by 2–20×, so wall-clock scaling assertions
+// must not run.
+const raceDetectorEnabled = true

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
 
 	"spequlos/internal/cloud"
 	"spequlos/internal/middleware"
@@ -20,12 +23,34 @@ type Config struct {
 	// resources, so a single-execution (XWHEP-style) server is appropriate
 	// regardless of the primary middleware.
 	CloudServerFactory func() middleware.Server
+	// Shards sizes the worker pool the per-batch plan phase of the monitor
+	// tick is dispatched across (0 = GOMAXPROCS). With one shard the plan
+	// runs inline in registration order; results are merged in registration
+	// order either way, so the shard count never changes decisions.
+	Shards int
+	// Tiers gates cloud-support admission when supply is contended. Nil
+	// admits every triggered batch immediately — the untiered single-tenant
+	// behavior.
+	Tiers *TierPolicy
 }
 
 // DefaultConfig returns a config with the paper's defaults (strategy
 // 9C-C-R, one-minute monitoring).
 func DefaultConfig() Config {
 	return Config{Strategy: DefaultStrategy(), MonitorPeriod: 60}
+}
+
+// CountDrivenTrigger marks Trigger implementations whose ShouldStart answer
+// can only change when the batch's task counters (completed / ever-assigned)
+// change. The monitor tick exploits the marker to skip batches with no task
+// activity since the previous tick, making per-tick work proportional to
+// infrastructure activity instead of registered batch count. A trigger that
+// also reads infrastructure state (CapacityAware watches the attached worker
+// count) must not implement it; every batch then stays on the every-tick
+// path.
+type CountDrivenTrigger interface {
+	// CountDriven is a marker; it is never called.
+	CountDriven()
 }
 
 // CloudUsage summarizes the cloud resources consumed for one batch.
@@ -55,23 +80,69 @@ type Service struct {
 	// multi-batch runs non-reproducible for a given seed.
 	order  []string
 	ticker *sim.Ticker
-	// pollScratch backs the per-tick active-batch snapshot, reused so a
-	// tick allocates nothing proportional to the batch count.
-	pollScratch []string
+	// shards is the resolved plan-phase worker-pool size.
+	shards int
+	// countDriven records whether the trigger allows the due-list
+	// optimization (see CountDrivenTrigger).
+	countDriven bool
+	// dueScratch backs the per-tick due-batch snapshot, reused so a tick
+	// allocates nothing proportional to the batch count.
+	dueScratch []string
+}
+
+// batchPlan is the mutation set one batch's plan step computed and the
+// serial apply step executes. Plan steps may run concurrently across
+// shards, so they only touch per-batch state and the striped credit
+// ledger; everything that mutates the engine, the middleware or the cloud
+// is deferred here.
+type batchPlan struct {
+	finalize   bool
+	stops      []*cloud.Instance
+	start      int
+	flat       bool
+	reschedule bool
+	cloudDup   bool
 }
 
 type qosBatch struct {
 	id        string
 	user      string
+	tier      Tier
 	bi        *BatchInfo
 	started   bool // cloud support triggered
 	triggered float64
 	exhausted bool
 	finalized bool
 
+	// shardHash stably assigns the batch to a plan-phase shard.
+	shardHash uint32
+	// dirty means task events touched the batch since its last step; clean
+	// batches with no live instances and nothing pending are skipped by
+	// count-driven triggers.
+	dirty bool
+	// armed means the trigger fired but the start was deferred — the sizing
+	// said zero workers (time-dependent under Conservative) or tier
+	// admission denied a slot — so the batch must be re-examined every tick.
+	armed bool
+	// eligibleSince is the virtual time the trigger first fired; admission
+	// scoring boosts longer waits. -1 until eligible.
+	eligibleSince float64
+	plan          batchPlan
+
 	instances []*cloud.Instance
 	lastBill  map[*cloud.Instance]float64
 	cloudSrv  middleware.Server // CloudDuplication secondary
+}
+
+// hasLiveInstances reports whether any cloud instance is still running —
+// such batches are billed every tick regardless of task activity.
+func (qb *qosBatch) hasLiveInstances() bool {
+	for _, inst := range qb.instances {
+		if inst.Running() {
+			return true
+		}
+	}
+	return false
 }
 
 // NewService wires a SpeQuloS service to a DG server and a simulated cloud.
@@ -79,28 +150,46 @@ func NewService(eng *sim.Engine, primary middleware.Server, simCloud *cloud.SimC
 	if cfg.MonitorPeriod <= 0 {
 		cfg.MonitorPeriod = 60
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	_, countDriven := cfg.Strategy.Trigger.(CountDrivenTrigger)
 	s := &Service{
-		eng:     eng,
-		cfg:     cfg,
-		Info:    NewInformation(),
-		Credits: NewCreditSystem(),
-		Oracle:  NewOracle(cfg.Strategy),
-		Cloud:   simCloud,
-		primary: primary,
-		batches: map[string]*qosBatch{},
+		eng:         eng,
+		cfg:         cfg,
+		Info:        NewInformation(),
+		Credits:     NewCreditSystem(),
+		Oracle:      NewOracle(cfg.Strategy),
+		Cloud:       simCloud,
+		primary:     primary,
+		batches:     map[string]*qosBatch{},
+		shards:      cfg.Shards,
+		countDriven: countDriven,
 	}
 	primary.AddListener(serviceListener{s})
 	return s
 }
 
-// serviceListener finalizes QoS support the instant a batch completes.
+// serviceListener keeps the due list current and finalizes QoS support the
+// instant a batch completes.
 type serviceListener struct{ s *Service }
 
-func (l serviceListener) TaskAssigned(string, int, float64)  {}
-func (l serviceListener) TaskCompleted(string, int, float64) {}
+func (l serviceListener) TaskAssigned(batchID string, _ int, _ float64) {
+	l.s.markDirty(batchID)
+}
+func (l serviceListener) TaskCompleted(batchID string, _ int, _ float64) {
+	l.s.markDirty(batchID)
+}
 func (l serviceListener) BatchCompleted(batchID string, at float64) {
 	if qb, ok := l.s.batches[batchID]; ok {
 		l.s.finalize(qb)
+	}
+}
+
+// markDirty queues a batch for the next monitor tick.
+func (s *Service) markDirty(batchID string) {
+	if qb, ok := s.batches[batchID]; ok {
+		qb.dirty = true
 	}
 }
 
@@ -109,6 +198,13 @@ func (l serviceListener) BatchCompleted(batchID string, at float64) {
 // size is the BoT size. The batch must be submitted to the DG server by the
 // user separately, tagged with the same ID.
 func (s *Service) RegisterQoS(user, batchID, envKey string, size int) error {
+	return s.RegisterQoSTier(user, batchID, envKey, size, "")
+}
+
+// RegisterQoSTier registers a batch under a QoS service class. The tier
+// only matters when Config.Tiers is set; it then decides admission priority
+// and the share of contended cloud supply the batch competes for.
+func (s *Service) RegisterQoSTier(user, batchID, envKey string, size int, tier Tier) error {
 	if _, ok := s.batches[batchID]; ok {
 		return fmt.Errorf("core: batch %q already registered", batchID)
 	}
@@ -116,8 +212,11 @@ func (s *Service) RegisterQoS(user, batchID, envKey string, size int) error {
 	if err != nil {
 		return err
 	}
+	h := fnv.New32a()
+	h.Write([]byte(batchID))
 	s.batches[batchID] = &qosBatch{
-		id: batchID, user: user, bi: bi, triggered: -1,
+		id: batchID, user: user, tier: tier, bi: bi, triggered: -1,
+		shardHash: h.Sum32(), dirty: true, eligibleSince: -1,
 		lastBill: map[*cloud.Instance]float64{},
 	}
 	s.order = append(s.order, batchID)
@@ -132,7 +231,12 @@ func (s *Service) OrderQoS(user, batchID string, credits float64) error {
 	if _, ok := s.batches[batchID]; !ok {
 		return fmt.Errorf("core: batch %q not registered", batchID)
 	}
-	return s.Credits.OrderQoS(user, batchID, credits)
+	if err := s.Credits.OrderQoS(user, batchID, credits); err != nil {
+		return err
+	}
+	// Fresh credits can turn an idle batch startable: re-examine it.
+	s.markDirty(batchID)
+	return nil
 }
 
 // Predict returns the Oracle's completion-time prediction for a batch
@@ -168,49 +272,103 @@ func (s *Service) Usage(batchID string) (CloudUsage, error) {
 }
 
 // tick is the combined Information/Scheduler monitor loop (Algorithms 1
-// and 2 of §3.6). The progress of every active batch is pulled in ONE
-// aggregated query per tick (middleware.BatchProgressor) instead of one
-// poll per batch — with hundreds of concurrent QoS batches sharing a DG
-// server, per-batch polling is the first scaling wall the monitor hits.
+// and 2 of §3.6), split into three phases:
+//
+//  1. Due selection — with a count-driven trigger, only batches with task
+//     activity since their last step, live instances to bill, or a deferred
+//     start are stepped; idle registered batches cost nothing beyond the
+//     scan. The due batches' progress is pulled in ONE aggregated query
+//     (middleware.BatchProgressor) when the server supports it.
+//  2. Plan — per-batch decision steps (observe, Algorithm 2 billing,
+//     Algorithm 1 trigger/sizing) dispatched across the shard pool. Plan
+//     steps touch only per-batch state and the striped credit ledger.
+//  3. Apply — tier admission, then every deferred mutation (cloud stops and
+//     starts, deployment switches, finalization) executed serially in
+//     registration order, so decisions and RNG draws are byte-identical to
+//     a serial tick regardless of the shard count.
 func (s *Service) tick(now float64) {
-	s.pollScratch = s.pollScratch[:0]
+	s.dueScratch = s.dueScratch[:0]
+	active := 0
 	for _, id := range s.order {
-		if !s.batches[id].finalized {
-			s.pollScratch = append(s.pollScratch, id)
+		qb := s.batches[id]
+		if qb.finalized {
+			continue
 		}
+		active++
+		if s.countDriven && !qb.dirty && !qb.armed && !qb.hasLiveInstances() {
+			continue
+		}
+		s.dueScratch = append(s.dueScratch, id)
 	}
-	if len(s.pollScratch) == 0 {
+	if active == 0 {
 		if s.ticker != nil {
 			s.ticker.Stop()
 			s.ticker = nil
 		}
 		return
 	}
-	// One aggregated query when the server supports it; otherwise observe
-	// each batch directly — no intermediate map, so the steady-state tick
-	// of the in-process simulators stays allocation-free.
+	if len(s.dueScratch) == 0 {
+		return
+	}
+
+	// One aggregated query when the server supports it; otherwise the plan
+	// steps observe their batch directly — no intermediate map, so the
+	// steady-state tick of the in-process simulators stays allocation-free.
 	bp, batched := s.primary.(middleware.BatchProgressor)
 	var progress map[string]middleware.Progress
 	if batched {
-		progress = bp.ProgressBatch(s.pollScratch)
+		progress = bp.ProgressBatch(s.dueScratch)
 	}
-	for _, id := range s.pollScratch {
-		qb := s.batches[id]
-		if qb.finalized {
-			continue // finalized by an earlier batch's side effects this tick
+
+	// Plan phase.
+	if s.shards <= 1 || len(s.dueScratch) == 1 {
+		for _, id := range s.dueScratch {
+			s.planBatch(s.batches[id], progress, batched)
 		}
-		if batched {
-			s.observeWith(qb, progress[id])
-		} else {
-			s.observe(qb)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < s.shards; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, id := range s.dueScratch {
+					qb := s.batches[id]
+					if int(qb.shardHash)%s.shards != w {
+						continue
+					}
+					s.planBatch(qb, progress, batched)
+				}
+			}(w)
 		}
-		if qb.bi.Done() {
-			s.finalize(qb)
-			continue
-		}
-		s.manageCloudWorkers(qb) // Algorithm 2
-		s.maybeStartCloud(qb)    // Algorithm 1
+		wg.Wait()
 	}
+
+	s.admit(now)
+
+	// Apply phase, in registration order.
+	for _, id := range s.dueScratch {
+		s.applyBatch(s.batches[id])
+	}
+}
+
+// planBatch computes one batch's monitor step without mutating anything
+// shared: it samples progress, bills running instances against the striped
+// ledger, and records the stops and starts for the apply phase. Safe to run
+// concurrently across batches.
+func (s *Service) planBatch(qb *qosBatch, progress map[string]middleware.Progress, batched bool) {
+	qb.plan = batchPlan{stops: qb.plan.stops[:0]}
+	qb.dirty = false
+	if batched {
+		s.observeWith(qb, progress[qb.id])
+	} else {
+		s.observeWith(qb, s.primary.Progress(qb.id))
+	}
+	if qb.bi.Done() {
+		qb.plan.finalize = true
+		return
+	}
+	s.planManage(qb) // Algorithm 2
+	s.planStart(qb)  // Algorithm 1
 }
 
 // observe samples the primary server's view of the batch.
@@ -229,9 +387,11 @@ func (s *Service) observeWith(qb *qosBatch, p middleware.Progress) {
 	qb.bi.AddSampleWorkers(s.eng.Now(), p.Completed, p.EverAssigned, p.Queued, p.Running, p.Workers)
 }
 
-// manageCloudWorkers bills running instances and stops the ones no longer
-// useful or fundable (Algorithm 2).
-func (s *Service) manageCloudWorkers(qb *qosBatch) {
+// planManage bills running instances and marks the ones no longer useful or
+// fundable for termination (Algorithm 2). Ledger mutations happen here —
+// the striped CreditSystem makes them safe across shards — while the actual
+// cloud stops run in the apply phase.
+func (s *Service) planManage(qb *qosBatch) {
 	now := s.eng.Now()
 	for _, inst := range qb.instances {
 		if !inst.Running() {
@@ -246,7 +406,12 @@ func (s *Service) manageCloudWorkers(qb *qosBatch) {
 		}
 	}
 	if qb.exhausted {
-		s.stopInstances(qb)
+		for _, inst := range qb.instances {
+			if inst.Running() {
+				s.billInstanceFinal(qb, inst)
+				qb.plan.stops = append(qb.plan.stops, inst)
+			}
+		}
 		return
 	}
 	// Greedy releases credits by stopping cloud workers that obtained no
@@ -256,15 +421,17 @@ func (s *Service) manageCloudWorkers(qb *qosBatch) {
 		for _, inst := range qb.instances {
 			if inst.Running() && inst.Booted() && !inst.Busy() {
 				s.billInstanceFinal(qb, inst)
-				s.Cloud.Stop(inst)
+				qb.plan.stops = append(qb.plan.stops, inst)
 			}
 		}
 	}
 }
 
-// maybeStartCloud triggers cloud support when the Oracle says so
-// (Algorithm 1).
-func (s *Service) maybeStartCloud(qb *qosBatch) {
+// planStart decides whether cloud support should begin (Algorithm 1) and
+// how many workers to request; the apply phase executes the starts once
+// tier admission confirms the slot.
+func (s *Service) planStart(qb *qosBatch) {
+	qb.armed = false
 	if qb.started || qb.exhausted {
 		return
 	}
@@ -274,6 +441,9 @@ func (s *Service) maybeStartCloud(qb *qosBatch) {
 	if !s.Oracle.ShouldUseCloud(qb.bi) {
 		return
 	}
+	if qb.eligibleSince < 0 {
+		qb.eligibleSince = s.eng.Now()
+	}
 	order, _ := s.Credits.OrderOf(qb.id)
 	allowance := s.Credits.CPUHoursFor(order.Remaining())
 	n := s.Oracle.CloudWorkersToStart(qb.bi, allowance, s.eng.Now())
@@ -282,23 +452,86 @@ func (s *Service) maybeStartCloud(qb *qosBatch) {
 		n = remaining
 	}
 	if n <= 0 {
+		// Sizing said zero right now; Conservative sizing is time-dependent,
+		// so stay on the every-tick path and retry.
+		qb.armed = true
+		return
+	}
+	qb.plan.start = n
+	switch s.cfg.Strategy.Deploy {
+	case Flat:
+		qb.plan.flat = true
+	case Reschedule:
+		qb.plan.reschedule = true
+	case CloudDuplication:
+		qb.plan.cloudDup = true
+	}
+}
+
+// admit runs tier admission over this tick's would-start batches: denied
+// batches stay armed and retry next tick with a higher wait-boosted score.
+// Without a tier policy every planned start proceeds.
+func (s *Service) admit(now float64) {
+	if s.cfg.Tiers == nil {
+		return
+	}
+	var cands []TierCandidate
+	for _, id := range s.dueScratch {
+		qb := s.batches[id]
+		if !qb.finalized && qb.plan.start > 0 {
+			cands = append(cands, TierCandidate{BatchID: qb.id, Tier: qb.tier, Since: qb.eligibleSince})
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	activeByTier := map[Tier]int{}
+	for _, id := range s.order {
+		qb := s.batches[id]
+		if !qb.finalized && qb.hasLiveInstances() {
+			activeByTier[qb.tier.OrFree()]++
+		}
+	}
+	admitted := s.cfg.Tiers.Admit(now, activeByTier, cands)
+	for _, c := range cands {
+		if !admitted[c.BatchID] {
+			qb := s.batches[c.BatchID]
+			qb.plan.start = 0
+			qb.armed = true
+		}
+	}
+}
+
+// applyBatch executes one batch's planned mutations: finalization, cloud
+// stops, deployment switches and cloud starts. Runs serially in
+// registration order so engine, middleware and RNG interactions are
+// deterministic.
+func (s *Service) applyBatch(qb *qosBatch) {
+	if qb.finalized {
+		return // finalized by an earlier batch's side effects this tick
+	}
+	if qb.plan.finalize {
+		s.finalize(qb)
+		return
+	}
+	for _, inst := range qb.plan.stops {
+		s.Cloud.Stop(inst)
+	}
+	if qb.plan.start <= 0 {
 		return
 	}
 	qb.started = true
 	qb.triggered = s.eng.Now()
 
 	target := s.primary
-	flat := false
-	switch s.cfg.Strategy.Deploy {
-	case Flat:
-		flat = true
-	case Reschedule:
+	if qb.plan.reschedule {
 		s.primary.SetReschedule(true)
-	case CloudDuplication:
+	}
+	if qb.plan.cloudDup {
 		target = s.startCloudServer(qb)
 	}
-	for i := 0; i < n; i++ {
-		inst := s.Cloud.Start(target, qb.id, flat)
+	for i := 0; i < qb.plan.start; i++ {
+		inst := s.Cloud.Start(target, qb.id, qb.plan.flat)
 		qb.instances = append(qb.instances, inst)
 		qb.lastBill[inst] = s.eng.Now()
 	}

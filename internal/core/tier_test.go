@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func cand(id string, t Tier, since float64) TierCandidate {
+	return TierCandidate{BatchID: id, Tier: t, Since: since}
+}
+
+func TestParseTier(t *testing.T) {
+	for _, s := range []string{"", "enterprise", "premium", "free"} {
+		if _, err := ParseTier(s); err != nil {
+			t.Errorf("ParseTier(%q) = %v", s, err)
+		}
+	}
+	if _, err := ParseTier("platinum"); err == nil {
+		t.Error("ParseTier accepted an unknown tier")
+	}
+	if TierPremium.OrFree() != TierPremium || Tier("").OrFree() != TierFree {
+		t.Error("OrFree mapping wrong")
+	}
+}
+
+func TestAdmitNilPolicyAdmitsAll(t *testing.T) {
+	var p *TierPolicy
+	got := p.Admit(0, nil, []TierCandidate{cand("a", TierFree, 0), cand("b", "", 0)})
+	if !got["a"] || !got["b"] {
+		t.Fatalf("nil policy denied candidates: %v", got)
+	}
+}
+
+func TestAdmitFleetCapExhausted(t *testing.T) {
+	p := DefaultTierPolicy()
+	p.FleetCap = 3
+	active := map[Tier]int{TierEnterprise: 2, TierFree: 1}
+	got := p.Admit(0, active, []TierCandidate{cand("a", TierEnterprise, 0)})
+	if len(got) != 0 {
+		t.Fatalf("full fleet admitted %v", got)
+	}
+}
+
+func TestAdmitPriorityAndTieBreak(t *testing.T) {
+	p := DefaultTierPolicy()
+	p.FleetCap = 1
+	// One slot, enterprise outranks free.
+	got := p.Admit(0, nil, []TierCandidate{cand("f", TierFree, 0), cand("e", TierEnterprise, 0)})
+	if !got["e"] || got["f"] {
+		t.Fatalf("contended slot went to %v", got)
+	}
+	// Equal scores: the lexicographically smaller batch ID wins.
+	got = p.Admit(0, nil, []TierCandidate{cand("b", TierPremium, 0), cand("a", TierPremium, 0)})
+	if !got["a"] || got["b"] {
+		t.Fatalf("tie-break went to %v", got)
+	}
+}
+
+func TestAdmitWaitBoostPreventsStarvation(t *testing.T) {
+	p := DefaultTierPolicy()
+	p.FleetCap = 1
+	// A free batch waiting long enough outscores a fresh enterprise one:
+	// 10 + 1/hour crosses 140 after 130 hours.
+	wait := 131 * 3600.0
+	got := p.Admit(wait, nil, []TierCandidate{
+		cand("e", TierEnterprise, wait), cand("f", TierFree, 0),
+	})
+	if !got["f"] || got["e"] {
+		t.Fatalf("boosted free batch lost the slot: %v", got)
+	}
+	if s := p.Score(TierFree, -5); s != p.Spec(TierFree).Priority {
+		t.Fatalf("negative wait changed score: %v", s)
+	}
+}
+
+func TestAdmitMaxActiveCap(t *testing.T) {
+	p := DefaultTierPolicy()
+	p.Tiers[TierFree] = TierSpec{Weight: 0.10, Priority: 10, MaxActive: 2}
+	got := p.Admit(0, map[Tier]int{TierFree: 2}, []TierCandidate{cand("f", TierFree, 0)})
+	if got["f"] {
+		t.Fatal("free batch admitted past its MaxActive cap")
+	}
+	// Headroom of one admits exactly one of two candidates.
+	got = p.Admit(0, map[Tier]int{TierFree: 1},
+		[]TierCandidate{cand("f1", TierFree, 0), cand("f2", TierFree, 0)})
+	if n := len(got); n != 1 || !got["f1"] {
+		t.Fatalf("cap headroom 1 admitted %v", got)
+	}
+}
+
+func TestAdmitWeightedReservation(t *testing.T) {
+	p := DefaultTierPolicy()
+	p.FleetCap = 10
+	var cands []TierCandidate
+	for i := 0; i < 15; i++ {
+		cands = append(cands, cand(fmt.Sprintf("e%02d", i), TierEnterprise, 0))
+	}
+	for i := 0; i < 5; i++ {
+		cands = append(cands, cand(fmt.Sprintf("f%02d", i), TierFree, 0))
+	}
+	got := p.Admit(0, nil, cands)
+	ent, free := 0, 0
+	for id, ok := range got {
+		if !ok {
+			continue
+		}
+		if id[0] == 'e' {
+			ent++
+		} else {
+			free++
+		}
+	}
+	if ent+free != 10 {
+		t.Fatalf("admitted %d+%d, want 10 total", ent, free)
+	}
+	// The weighted reservation guarantees the free tier its share even
+	// though every enterprise candidate outscores it; leftovers go to the
+	// higher scores.
+	if free < 1 {
+		t.Fatalf("free tier starved: %d enterprise, %d free", ent, free)
+	}
+	if ent < 8 {
+		t.Fatalf("enterprise reservation not honored: %d enterprise, %d free", ent, free)
+	}
+}

@@ -174,6 +174,12 @@ func runOnce(sc campaign.Scenario, horizon float64) (Outcome, error) {
 		DG:       NewDGClient(dgSrv.URL),
 	})
 	defer stack.Close()
+	if sc.Profile.Tiered {
+		// Tiered cells run the same admission contract the in-process
+		// scheduler applies, enforced at the deployable Scheduler.
+		stack.Scheduler.TierPolicy = core.DefaultTierPolicy()
+		stack.Scheduler.TierPolicy.FleetCap = sc.Profile.FleetCap
+	}
 	epoch := time.Unix(0, 0).UTC()
 	stack.SetClock(func() time.Time {
 		return epoch.Add(time.Duration(eng.Now() * float64(time.Second)))
@@ -260,6 +266,7 @@ func runOnce(sc campaign.Scenario, horizon float64) (Outcome, error) {
 			if err := postQoS(stack.SchedulerAddr, service.QoSRequest{
 				User: "user", BatchID: botIDs[k], EnvKey: sc.EnvKey(),
 				Size: workloads[k].Size(), Credits: credits,
+				Tier:     string(sc.SubTier(k)),
 				Provider: ProviderName, Image: "emul-worker",
 			}); err != nil {
 				stepErr = fmt.Errorf("registerQoS for %s: %w", botIDs[k], err)

@@ -76,6 +76,32 @@ type CrowdRow struct {
 	CreditsBilled    float64
 	Instances        int
 	Events           uint64
+
+	// Tiers is the per-service-class breakdown of a tiered cell, in
+	// descending privilege order (nil for untiered cells, whose rendered
+	// table keeps its historical shape).
+	Tiers []CrowdTierRow
+}
+
+// CrowdTierRow is one service class's slice of a tiered crowd cell: the
+// per-tier completion quantiles and fairness the tier contracts are judged
+// on.
+type CrowdTierRow struct {
+	Tier      string
+	Batches   int
+	Completed int
+	Triggered int
+
+	// Completion-time quantiles, seconds from each batch's own submission.
+	MedianCompletion float64
+	P90Completion    float64
+	MaxCompletion    float64
+	// JainIndex is Jain's fairness index over this tier's per-batch
+	// completion times; 0 unless every batch of the tier completed.
+	JainIndex float64
+
+	CreditsBilled float64
+	Instances     int
 }
 
 // CrowdReport is the crowd campaign's artifact.
@@ -139,6 +165,7 @@ func CrowdFrom(store *campaign.ResultStore, p Profile) (CrowdReport, error) {
 		if row.MedianCompletion > 0 {
 			row.MedianSpeedup = row.BaselineMedian / row.MedianCompletion
 		}
+		row.Tiers = crowdTierRows(speq.Batches)
 		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
@@ -187,8 +214,69 @@ func (r CrowdReport) Render() string {
 			fmt.Sprintf("%.0f/%.0f", row.CreditsBilled, row.CreditsAllocated),
 			fmt.Sprint(row.Instances),
 		)
+		for _, tr := range row.Tiers {
+			tbl.AddRow(
+				" +"+tr.Tier,
+				fmt.Sprint(tr.Batches),
+				fmt.Sprint(tr.Completed),
+				fmt.Sprint(tr.Triggered),
+				fmt.Sprintf("%.0fs", tr.MedianCompletion),
+				fmt.Sprintf("%.0fs", tr.P90Completion),
+				fmt.Sprintf("%.0fs", tr.MaxCompletion),
+				fmt.Sprintf("%.3f", tr.JainIndex),
+				"",
+				fmt.Sprintf("%.0f", tr.CreditsBilled),
+				fmt.Sprint(tr.Instances),
+			)
+		}
 	}
 	return tbl.String()
+}
+
+// crowdTierRows aggregates a tiered cell's batches per service class, in
+// descending privilege order; it returns nil for untiered cells.
+func crowdTierRows(batches []campaign.BatchResult) []CrowdTierRow {
+	tiered := false
+	for _, br := range batches {
+		if br.Tier != "" {
+			tiered = true
+			break
+		}
+	}
+	if !tiered {
+		return nil
+	}
+	var rows []CrowdTierRow
+	for _, tier := range core.AllTiers() {
+		tr := CrowdTierRow{Tier: string(tier)}
+		var times []float64
+		for _, br := range batches {
+			if core.Tier(br.Tier).OrFree() != tier {
+				continue
+			}
+			tr.Batches++
+			tr.CreditsBilled += br.CreditsBilled
+			tr.Instances += br.Instances
+			if br.Completed {
+				tr.Completed++
+				times = append(times, br.CompletionTime)
+			}
+			if br.TriggeredAt >= 0 {
+				tr.Triggered++
+			}
+		}
+		if tr.Batches == 0 {
+			continue
+		}
+		tr.MedianCompletion = stats.NearestRank(times, 0.5)
+		tr.P90Completion = stats.NearestRank(times, 0.9)
+		tr.MaxCompletion = stats.NearestRank(times, 1)
+		if tr.Completed == tr.Batches {
+			tr.JainIndex = jainIndex(times)
+		}
+		rows = append(rows, tr)
+	}
+	return rows
 }
 
 // jainIndex computes Jain's fairness index (Σx)²/(n·Σx²), 0 for empty.

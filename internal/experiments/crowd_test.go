@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -58,13 +59,52 @@ func TestBuildCrowd(t *testing.T) {
 		t.Fatalf("resume executed %d jobs, cached %d", stats2.Executed, stats2.Cached)
 	}
 	for i := range rep.Rows {
-		if rep.Rows[i] != rep2.Rows[i] {
+		if !reflect.DeepEqual(rep.Rows[i], rep2.Rows[i]) {
 			t.Fatalf("derived rows diverge:\n  %+v\n  %+v", rep.Rows[i], rep2.Rows[i])
 		}
 	}
 
 	txt := rep.Render()
 	for _, want := range []string{"Crowd", "BOINC", "XWHEP", "CONDOR", "jain", "speedup"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("render missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+// TestCrowdTierBreakdown pins the tiered reporting path: a tiered cell
+// yields one CrowdTierRow per populated service class whose batch counts
+// partition the cell, and the rendered table carries the tier rows —
+// while untiered cells (TestBuildCrowd) keep Tiers nil and their
+// historical table shape.
+func TestCrowdTierBreakdown(t *testing.T) {
+	p := crowdTestProfile()
+	p.Tiered = true
+	store := campaign.NewResultStore()
+	rep, _, err := BuildCrowd(context.Background(), p, ArtifactOptions{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if len(row.Tiers) == 0 {
+			t.Fatalf("%s: tiered cell produced no tier rows", row.Middleware)
+		}
+		sumB, sumC := 0, 0
+		for _, tr := range row.Tiers {
+			sumB += tr.Batches
+			sumC += tr.Completed
+			if tr.Completed == tr.Batches && tr.Batches > 0 &&
+				(tr.JainIndex <= 0 || tr.JainIndex > 1) {
+				t.Errorf("%s/%s: Jain index %v out of (0,1]", row.Middleware, tr.Tier, tr.JainIndex)
+			}
+		}
+		if sumB != row.Batches || sumC != row.Completed {
+			t.Errorf("%s: tier rows partition %d/%d batches, cell has %d/%d",
+				row.Middleware, sumC, sumB, row.Completed, row.Batches)
+		}
+	}
+	txt := rep.Render()
+	for _, want := range []string{"+enterprise", "+premium", "+free"} {
 		if !strings.Contains(txt, want) {
 			t.Errorf("render missing %q:\n%s", want, txt)
 		}

@@ -62,7 +62,11 @@ func Stress() Profile { return campaign.Stress() }
 // QoS batches on one 500-node trace); see campaign.Crowd.
 func Crowd() Profile { return campaign.Crowd() }
 
-// ProfileByName resolves quick/standard/full/stress/crowd.
+// Crowd2K returns the tiered two-thousand-batch scale profile (sharded
+// scheduler, tier arbitration under a fleet cap); see campaign.Crowd2K.
+func Crowd2K() Profile { return campaign.Crowd2K() }
+
+// ProfileByName resolves quick/standard/full/stress/crowd/crowd2k.
 func ProfileByName(name string) (Profile, error) { return campaign.ProfileByName(name) }
 
 // Scenario is one simulation to run.

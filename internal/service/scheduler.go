@@ -66,6 +66,15 @@ type SchedulerService struct {
 	registry *cloud.Registry
 	dg       DGGateway
 
+	// TierPolicy, when non-nil, gates cloud-worker launches per service
+	// class: a batch only starts cloud support while its tier's count of
+	// batches holding live instances is under the tier's MaxActive cap and
+	// the fleet as a whole is under FleetCap. The in-process scheduler
+	// (internal/core) additionally runs weighted slot arbitration per tick;
+	// the HTTP scheduler steps batches independently, so it enforces the
+	// caps and lets denied batches retry on later ticks.
+	TierPolicy *core.TierPolicy
+
 	// Now is the clock used for billing; overridable in tests.
 	Now func() time.Time
 
@@ -79,6 +88,7 @@ type schedBatch struct {
 	User      string
 	EnvKey    string
 	Size      int
+	Tier      core.Tier
 	Provider  string
 	Image     string
 	Started   bool
@@ -107,18 +117,23 @@ type managedInstance struct {
 // QoSRequest registers a batch for QoS support (registerQoS + orderQoS of
 // Fig 3 in one call).
 type QoSRequest struct {
-	User     string  `json:"user"`
-	BatchID  string  `json:"batch_id"`
-	EnvKey   string  `json:"env_key"`
-	Size     int     `json:"size"`
-	Credits  float64 `json:"credits"`
-	Provider string  `json:"provider"`
-	Image    string  `json:"image"`
+	User    string  `json:"user"`
+	BatchID string  `json:"batch_id"`
+	EnvKey  string  `json:"env_key"`
+	Size    int     `json:"size"`
+	Credits float64 `json:"credits"`
+	// Tier is the batch's service class (enterprise, premium or free; empty
+	// means untiered and is treated as free when a tier policy is active).
+	Tier     string `json:"tier,omitempty"`
+	Provider string `json:"provider"`
+	Image    string `json:"image"`
 }
 
 // QoSStatus reports the Scheduler's view of a batch.
 type QoSStatus struct {
-	BatchID   string `json:"batch_id"`
+	BatchID string `json:"batch_id"`
+	// Tier is the batch's service class (empty for untiered batches).
+	Tier      string `json:"tier,omitempty"`
 	Started   bool   `json:"started"`
 	Exhausted bool   `json:"exhausted"`
 	Finalized bool   `json:"finalized"`
@@ -183,6 +198,10 @@ func (s *SchedulerService) RegisterQoS(req QoSRequest) error {
 	if req.BatchID == "" || req.Size <= 0 {
 		return fmt.Errorf("scheduler: batch_id and positive size required")
 	}
+	tier, err := core.ParseTier(req.Tier)
+	if err != nil {
+		return fmt.Errorf("scheduler: %w", err)
+	}
 	s.mu.Lock()
 	if _, ok := s.batches[req.BatchID]; ok {
 		s.mu.Unlock()
@@ -203,7 +222,7 @@ func (s *SchedulerService) RegisterQoS(req QoSRequest) error {
 	defer s.mu.Unlock()
 	s.batches[req.BatchID] = &schedBatch{
 		ID: req.BatchID, User: req.User, EnvKey: req.EnvKey, Size: req.Size,
-		Provider: req.Provider, Image: req.Image, StartedAt: s.Now(),
+		Tier: tier, Provider: req.Provider, Image: req.Image, StartedAt: s.Now(),
 		TriggeredAt: -1,
 	}
 	s.order = append(s.order, req.BatchID)
@@ -218,8 +237,8 @@ func (s *SchedulerService) Status(batchID string) (QoSStatus, error) {
 	if !ok {
 		return QoSStatus{}, fmt.Errorf("scheduler: batch %q not registered", batchID)
 	}
-	st := QoSStatus{BatchID: qb.ID, Started: qb.Started, Exhausted: qb.Exhausted,
-		Finalized: qb.Finalized, TriggeredAt: qb.TriggeredAt}
+	st := QoSStatus{BatchID: qb.ID, Tier: string(qb.Tier), Started: qb.Started,
+		Exhausted: qb.Exhausted, Finalized: qb.Finalized, TriggeredAt: qb.TriggeredAt}
 	for _, mi := range qb.instances {
 		st.Instances = append(st.Instances, mi.Info)
 	}
@@ -372,6 +391,9 @@ func (s *SchedulerService) stepBatch(id string, pre *middleware.Progress) error 
 	if !plan.Start {
 		return nil
 	}
+	if !s.admitTier(qb) {
+		return nil // tier caps leave no headroom; retry on a later tick
+	}
 	driver, err := s.registry.Get(qb.Provider)
 	if err != nil {
 		return err
@@ -393,6 +415,37 @@ func (s *SchedulerService) stepBatch(id string, pre *middleware.Progress) error 
 	qb.ReleaseIdle = plan.ReleaseIdle
 	s.mu.Unlock()
 	return nil
+}
+
+// admitTier enforces the tier admission caps for a batch about to start
+// cloud support: its service class must have MaxActive headroom and the
+// fleet must be under FleetCap, counting every other unfinalized batch that
+// currently holds live instances. A nil policy admits everything.
+func (s *SchedulerService) admitTier(qb *schedBatch) bool {
+	if s.TierPolicy == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active := map[core.Tier]int{}
+	total := 0
+	for _, other := range s.batches {
+		if other == qb || other.Finalized {
+			continue
+		}
+		for i := range other.instances {
+			if other.instances[i].Info.State != cloud.StateTerminated {
+				active[other.Tier.OrFree()]++
+				total++
+				break
+			}
+		}
+	}
+	spec := s.TierPolicy.Spec(qb.Tier)
+	if spec.MaxActive > 0 && active[qb.Tier.OrFree()] >= spec.MaxActive {
+		return false
+	}
+	return s.TierPolicy.FleetCap <= 0 || total < s.TierPolicy.FleetCap
 }
 
 // exhausted reads the exhaustion flag under the lock.

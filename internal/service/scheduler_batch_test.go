@@ -232,3 +232,81 @@ func TestBatchedStepMatchesPerBatchStep(t *testing.T) {
 		t.Fatalf("cloud support never engaged: %+v", batched["a"])
 	}
 }
+
+// TestTierAdmissionCaps pins the deployable Scheduler's tier gating: under a
+// fleet cap of one, only the first eligible batch gets cloud workers, the
+// denied batch keeps retrying, and the slot passes to it once the holder
+// finalizes. Registration rejects unknown tier names outright.
+func TestTierAdmissionCaps(t *testing.T) {
+	script := newMultiDG()
+	driver := cloud.NewMockDriver("mock", time.Second, 0.10)
+	stack := NewTestStack(StackConfig{
+		Strategy: core.DefaultStrategy(),
+		Registry: cloud.NewRegistry(driver),
+		DG:       script,
+	})
+	defer stack.Close()
+	epoch := time.Unix(0, 0).UTC()
+	now := epoch
+	stack.SetClock(func() time.Time { return now })
+	driver.SetClock(func() time.Time { return now })
+
+	stack.Scheduler.TierPolicy = core.DefaultTierPolicy()
+	stack.Scheduler.TierPolicy.FleetCap = 1
+
+	if err := stack.Scheduler.RegisterQoS(QoSRequest{
+		User: "u", BatchID: "x", EnvKey: "e", Size: 10, Tier: "platinum",
+	}); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+
+	for _, b := range []struct{ id, tier string }{{"ent", "enterprise"}, {"fr", "free"}} {
+		script.set(b.id, middleware.Progress{Size: 100, Arrived: 100,
+			Completed: 92, EverAssigned: 100, Running: 8})
+		if err := stack.CreditClient.Deposit("u", 200); err != nil {
+			t.Fatal(err)
+		}
+		if err := stack.Scheduler.RegisterQoS(QoSRequest{
+			User: "u", BatchID: b.id, EnvKey: "e", Size: 100,
+			Credits: 90, Tier: b.tier, Provider: "mock", Image: "img",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Both batches are past the trigger; the single fleet slot goes to the
+	// first stepped batch and the other is denied for as long as it is held.
+	for i := 0; i < 3; i++ {
+		now = now.Add(60 * time.Second)
+		if err := stack.Scheduler.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ent, _ := stack.Scheduler.Status("ent")
+	fr, _ := stack.Scheduler.Status("fr")
+	if !ent.Started || ent.Tier != "enterprise" {
+		t.Fatalf("enterprise batch not serviced: %+v", ent)
+	}
+	if fr.Started {
+		t.Fatalf("free batch started despite full fleet: %+v", fr)
+	}
+
+	// The holder finishes; its finalization frees the slot and the denied
+	// batch is admitted on the next tick.
+	script.set("ent", middleware.Progress{Size: 100, Arrived: 100,
+		Completed: 100, EverAssigned: 100})
+	for i := 0; i < 2; i++ {
+		now = now.Add(60 * time.Second)
+		if err := stack.Scheduler.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ent, _ = stack.Scheduler.Status("ent")
+	fr, _ = stack.Scheduler.Status("fr")
+	if !ent.Finalized {
+		t.Fatalf("enterprise batch did not finalize: %+v", ent)
+	}
+	if !fr.Started {
+		t.Fatalf("free batch still denied after the slot freed: %+v", fr)
+	}
+}
