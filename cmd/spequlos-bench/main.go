@@ -33,6 +33,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -53,6 +55,9 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "perf report path (default <out>/BENCH_<profile>.json); an existing report's trajectory is extended")
 		benchLabel = flag.String("bench-label", "", "label recorded with this run's trajectory entry (e.g. a PR number or git rev)")
 		baseline   = flag.String("baseline", "", "baseline BENCH_*.json to print a throughput delta against")
+		shards     = flag.Int("shards", 0, "kernel shard count for sharded-kernel profiles (0 = GOMAXPROCS; results are byte-identical at any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 
@@ -60,8 +65,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *shards != 0 {
+		p.KernelShards = *shards
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
 	}
 
 	// Multi-batch profiles (crowd, crowd2k) run the concurrency campaign
@@ -265,6 +286,10 @@ func runCrowd(p experiments.Profile, out, storePath string, verbose bool,
 	fmt.Printf("campaign done in %v: %d executed, %d cached, %.0f events/sec (%.0f events/cpu-sec)\n",
 		stats.Elapsed.Round(time.Millisecond), stats.Executed, stats.Cached,
 		stats.EventsPerSecond(), stats.EventsPerCPUSecond())
+	if stats.KernelShards > 0 {
+		fmt.Printf("sharded kernel: %d shards, %d barriers, shard events %v, barrier stall %.3fs\n",
+			stats.KernelShards, stats.Barriers, stats.ShardEvents, stats.BarrierStallSec)
+	}
 
 	text := rep.Render()
 	if err := os.WriteFile(filepath.Join(out, "crowd.txt"), []byte(text), 0o644); err != nil {
@@ -303,6 +328,10 @@ type benchReport struct {
 	EventsPerCPUSec float64           `json:"events_per_cpu_sec,omitempty"`
 	CampaignSecs    float64           `json:"campaign_wallclock_s"`
 	TotalSecs       float64           `json:"total_wallclock_s"`
+	KernelShards    int               `json:"kernel_shards,omitempty"`
+	Barriers        uint64            `json:"barriers,omitempty"`
+	ShardEvents     []uint64          `json:"shard_events,omitempty"`
+	BarrierStallSec float64           `json:"barrier_stall_s,omitempty"`
 	Artifacts       []artifactTimingJ `json:"artifacts"`
 	Trajectory      []trajectoryPoint `json:"trajectory,omitempty"`
 }
@@ -312,15 +341,22 @@ type artifactTimingJ struct {
 	Wallclock float64 `json:"wallclock_s"`
 }
 
-// trajectoryPoint is one run's throughput record.
+// trajectoryPoint is one run's throughput record. The kernel fields are
+// populated when jobs ran on the multi-core sharded kernel: the shard
+// layout, per-shard event sums (skew shows up as imbalance here), and the
+// wall-clock shards spent stalled at tick barriers.
 type trajectoryPoint struct {
-	RecordedAt      string  `json:"recorded_at,omitempty"`
-	Label           string  `json:"label,omitempty"`
-	SimEvents       uint64  `json:"sim_events"`
-	ExecutedJobs    int     `json:"executed_jobs"`
-	EventsPerSec    float64 `json:"events_per_sec"`
-	EventsPerCPUSec float64 `json:"events_per_cpu_sec,omitempty"`
-	CampaignSecs    float64 `json:"campaign_wallclock_s"`
+	RecordedAt      string   `json:"recorded_at,omitempty"`
+	Label           string   `json:"label,omitempty"`
+	SimEvents       uint64   `json:"sim_events"`
+	ExecutedJobs    int      `json:"executed_jobs"`
+	EventsPerSec    float64  `json:"events_per_sec"`
+	EventsPerCPUSec float64  `json:"events_per_cpu_sec,omitempty"`
+	CampaignSecs    float64  `json:"campaign_wallclock_s"`
+	KernelShards    int      `json:"kernel_shards,omitempty"`
+	Barriers        uint64   `json:"barriers,omitempty"`
+	ShardEvents     []uint64 `json:"shard_events,omitempty"`
+	BarrierStallSec float64  `json:"barrier_stall_s,omitempty"`
 }
 
 // maxTrajectory bounds the history kept in a report file.
@@ -339,6 +375,10 @@ func writeBenchReport(path string, p experiments.Profile, defaultLabel, runLabel
 		EventsPerCPUSec: stats.EventsPerCPUSecond(),
 		CampaignSecs:    stats.Elapsed.Seconds(),
 		TotalSecs:       total.Seconds(),
+		KernelShards:    stats.KernelShards,
+		Barriers:        stats.Barriers,
+		ShardEvents:     stats.ShardEvents,
+		BarrierStallSec: stats.BarrierStallSec,
 	}
 	for _, t := range a.Timings {
 		r.Artifacts = append(r.Artifacts, artifactTimingJ{Name: t.Name, Wallclock: t.Elapsed.Seconds()})
@@ -368,6 +408,10 @@ func writeBenchReport(path string, p experiments.Profile, defaultLabel, runLabel
 		EventsPerSec:    stats.EventsPerSecond(),
 		EventsPerCPUSec: stats.EventsPerCPUSecond(),
 		CampaignSecs:    stats.Elapsed.Seconds(),
+		KernelShards:    stats.KernelShards,
+		Barriers:        stats.Barriers,
+		ShardEvents:     stats.ShardEvents,
+		BarrierStallSec: stats.BarrierStallSec,
 	})
 	if n := len(r.Trajectory); n > maxTrajectory {
 		r.Trajectory = r.Trajectory[n-maxTrajectory:]
@@ -420,6 +464,21 @@ func figure2CSV(f experiments.Figure2) string {
 			f.FractionBelow(experiments.BOINC, s), f.FractionBelow(experiments.XWHEP, s))
 	}
 	return b.String()
+}
+
+// writeMemProfile records the post-run heap (after a forced GC, so the
+// profile shows retained memory, not garbage awaiting collection).
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spequlos-bench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "spequlos-bench:", err)
+	}
 }
 
 func fatal(err error) {

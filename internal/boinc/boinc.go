@@ -61,6 +61,12 @@ type Server struct {
 	// barren is dispatch's per-round scratch memo of batches with no
 	// eligible work, reused across rounds to avoid per-tick allocation.
 	barren map[string]bool
+
+	// Registered op handlers: scheduling an op event carries only an arena
+	// payload, so the server's hot path allocates no closures.
+	opArrive   sim.Op // Payload.A = *workunit
+	opDone     sim.Op // Payload.A = *exec: the replica's result arrives
+	opDeadline sim.Op // Payload.A = *exec: delay_bound expired
 }
 
 type batch struct {
@@ -194,7 +200,7 @@ func New(eng *sim.Engine, cfg Config) *Server {
 	if cfg.DelayBound <= 0 {
 		cfg.DelayBound = 86400
 	}
-	return &Server{
+	s := &Server{
 		eng:      eng,
 		cfg:      cfg,
 		batches:  map[string]*batch{},
@@ -203,6 +209,16 @@ func New(eng *sim.Engine, cfg Config) *Server {
 		barren:   map[string]bool{},
 		paused:   map[*middleware.Worker]*exec{},
 	}
+	s.opArrive = eng.RegisterOp(func(p sim.Payload) { s.arrive(p.A.(*workunit)) })
+	s.opDone = eng.RegisterOp(func(p sim.Payload) {
+		ex := p.A.(*exec)
+		s.returnResult(ex.w, ex.wu, ex)
+	})
+	s.opDeadline = eng.RegisterOp(func(p sim.Payload) {
+		ex := p.A.(*exec)
+		s.deadline(ex.wu, ex)
+	})
+	return s
 }
 
 // MiddlewareName implements middleware.Server.
@@ -228,15 +244,18 @@ func (s *Server) Submit(b middleware.Batch) {
 			execs: map[*middleware.Worker]*exec{},
 		}
 		bt.wus = append(bt.wus, wu)
-		s.eng.After(spec.Arrival, func() {
-			wu.arrived = true
-			bt.arrived++
-			wu.unsent = s.cfg.TargetNResults
-			wu.queued = true
-			s.pending.push(wu)
-			s.dispatch()
-		})
+		s.eng.AfterOp(spec.Arrival, s.opArrive, sim.Payload{A: wu})
 	}
+}
+
+// arrive makes a workunit visible to the scheduler at its arrival time.
+func (s *Server) arrive(wu *workunit) {
+	wu.arrived = true
+	wu.batch.arrived++
+	wu.unsent = s.cfg.TargetNResults
+	wu.queued = true
+	s.pending.push(wu)
+	s.dispatch()
 }
 
 // WorkerJoin implements middleware.Server. A returning host resumes its
@@ -254,7 +273,7 @@ func (s *Server) WorkerJoin(w *middleware.Worker) {
 			st.cur = ex.wu
 			ex.paused = false
 			ex.resumedAt = s.eng.Now()
-			ex.doneEv = s.eng.After(ex.remaining, func() { s.returnResult(w, ex.wu, ex) })
+			ex.doneEv = s.eng.AfterOp(ex.remaining, s.opDone, sim.Payload{A: ex})
 			return
 		}
 		delete(ex.wu.execs, w)
@@ -408,10 +427,10 @@ func (s *Server) assign(w *middleware.Worker, wu *workunit) {
 	dur := wu.spec.NOps / w.Power
 	ex := &exec{w: w, wu: wu, remaining: dur, resumedAt: s.eng.Now()}
 	wu.execs[w] = ex
-	ex.doneEv = s.eng.After(dur, func() { s.returnResult(w, wu, ex) })
+	ex.doneEv = s.eng.AfterOp(dur, s.opDone, sim.Payload{A: ex})
 	// Deadline: if the result has not arrived by then, the replica is
 	// presumed lost and a replacement is created.
-	s.eng.After(s.cfg.DelayBound, func() { s.deadline(wu, ex) })
+	s.eng.AfterOp(s.cfg.DelayBound, s.opDeadline, sim.Payload{A: ex})
 }
 
 // returnResult processes a successful result from worker w.

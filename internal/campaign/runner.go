@@ -59,6 +59,9 @@ func Execute(j Job) Entry {
 // one-BoT path is kept byte-identical for existing profiles and goldens.
 func executeOnce(j Job, horizon float64) Entry {
 	if j.Scenario.SubBatches() > 1 {
+		if useShardedKernel(j) {
+			return executeSharded(j, horizon)
+		}
 		return executeMulti(j, horizon)
 	}
 	sc := j.Scenario

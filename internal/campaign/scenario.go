@@ -130,6 +130,21 @@ type Profile struct {
 	// the monitor merges per-shard steps deterministically — so it is not
 	// part of the job key.
 	Shards int `json:",omitempty"`
+	// ShardedKernel partitions the cell's MODEL for multi-core execution:
+	// every sub-batch gets its own DG server plus a stable-hashed dedicated
+	// partition of the trace's nodes, so batches interact only through the
+	// shared QoS service, which runs serially at monitor barriers
+	// (sim.Sharded). This changes what is simulated — one server per batch
+	// instead of one shared server — so it IS part of the job key. Cells
+	// whose strategy deploys CloudDuplication, and tiered cells, fall back
+	// to the single-server model (their cross-batch coupling does not fit
+	// the barrier protocol); the fallback is a pure function of the key.
+	ShardedKernel bool `json:",omitempty"`
+	// KernelShards is the number of parallel event heaps the sharded kernel
+	// executes on (0 = GOMAXPROCS, capped at Batches). Purely an execution
+	// knob: any value yields byte-identical results, so it is NOT part of
+	// the job key.
+	KernelShards int `json:",omitempty"`
 }
 
 // Quick returns the bench profile (small BoTs, small pools).
@@ -157,15 +172,19 @@ func Full() Profile {
 }
 
 // Stress returns the kernel stress profile: 10× the quick profile's worker
-// churn (pool cap 2500) over a 30-day horizon with quick-sized BoTs. It
-// exists to exercise the event kernel at BOINC-like host volumes (Anderson's
-// hundreds of thousands of hosts, scaled to one process) rather than to
-// reproduce a paper artifact; spequlos-bench records its throughput in
-// BENCH_stress.json alongside the quick trajectory.
+// churn (pool cap 2500) over a 30-day horizon. It exists to exercise the
+// event kernel at BOINC-like host volumes (Anderson's hundreds of thousands
+// of hosts, scaled to one process) rather than to reproduce a paper
+// artifact; spequlos-bench records its throughput in BENCH_stress.json.
+// Since PR 7 the cell is a sharded-kernel model: 32 quick-sized BoTs, each
+// on its own server with a dedicated ~78-node slice of the pool, so the
+// simulation spreads across every core (-shards) while staying
+// byte-deterministic at any shard count.
 func Stress() Profile {
 	return Profile{
 		Name: "stress", BotScale: 0.04, Offsets: 1, PoolCap: 2500,
 		HorizonDays: 30, CreditFraction: 0.10,
+		Batches: 32, SubmitSpread: 3600, ShardedKernel: true,
 	}
 }
 
@@ -375,6 +394,15 @@ type Result struct {
 	TriggeredAt      float64
 
 	Events uint64 // simulation events executed (for benchmarking)
+
+	// Sharded-kernel execution counters (set only by sharded-kernel cells).
+	// They describe HOW the run executed, not what it computed: every other
+	// field is byte-identical at any KernelShards value, and determinism
+	// checks zero these before comparing.
+	KernelShards    int      `json:",omitempty"`
+	Barriers        uint64   `json:",omitempty"`
+	ShardEvents     []uint64 `json:",omitempty"`
+	BarrierStallSec float64  `json:",omitempty"`
 
 	// Batches holds per-batch outcomes for multi-batch cells (nil for the
 	// classic one-BoT cells, and omitted from their JSON so existing stores

@@ -1,0 +1,237 @@
+package campaign
+
+import (
+	"hash/fnv"
+	"runtime"
+
+	"spequlos/internal/cloud"
+	"spequlos/internal/core"
+	"spequlos/internal/middleware"
+	"spequlos/internal/sim"
+)
+
+// useShardedKernel reports whether a job runs on the multi-core sharded
+// kernel. The sharded model gives every sub-batch its own DG server, so it
+// cannot express cross-batch couplings: CloudDuplication's result mirror
+// and tier arbitration's shared fleet cap both fall back to the
+// single-server model. The answer is a pure function of the job key, so a
+// given cell always runs the same model.
+func useShardedKernel(j Job) bool {
+	sc := j.Scenario
+	if !sc.Profile.ShardedKernel || sc.Profile.Tiered {
+		return false
+	}
+	st := sc.Strategy
+	if j.Config != nil {
+		st = &j.Config.Strategy
+	}
+	return st == nil || st.Deploy != core.CloudDuplication
+}
+
+// kernelShardCount resolves the execution shard count: the profile's
+// KernelShards, defaulting to GOMAXPROCS, capped at the batch count (extra
+// shards would idle).
+func kernelShardCount(p Profile, nb int) int {
+	n := p.KernelShards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > nb {
+		n = nb
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// batchShard stably maps a sub-batch onto a kernel shard (FNV-32a, the
+// scheduler plan-pool idiom). The mapping only balances load: batches are
+// independent between barriers, so results do not depend on it.
+func batchShard(id string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// subCell is one sub-batch's slice of a sharded cell: its own DG server on
+// a shard engine plus a shard-local completion record. The listener fires
+// on the owning shard's goroutine during parallel windows, so it must only
+// write this cell's fields; the barrier loop reads them serially.
+type subCell struct {
+	id          string
+	srv         middleware.Server
+	done        bool
+	completedAt float64
+}
+
+func (c *subCell) TaskAssigned(string, int, float64)  {}
+func (c *subCell) TaskCompleted(string, int, float64) {}
+func (c *subCell) BatchCompleted(id string, at float64) {
+	if id == c.id && !c.done {
+		c.done = true
+		c.completedAt = at
+	}
+}
+
+// executeSharded is one bounded-horizon simulation of a multi-batch cell on
+// the sim.Sharded kernel. The model is partitioned per batch — each
+// sub-batch gets its own middleware server and a dedicated stable-hashed
+// slice of the trace's nodes — and batches are grouped onto parallel event
+// heaps. Cross-batch effects exist only inside the QoS service (cloud
+// fleet, credit ledger, monitor decisions), which lives on the control
+// engine and runs serially at tick barriers, so results are byte-identical
+// at any shard count; KernelShards=1 is the serial reference.
+func executeSharded(j Job, horizon float64) Entry {
+	sc := j.Scenario
+	seed := sc.Seed()
+	nb := sc.SubBatches()
+	ns := kernelShardCount(sc.Profile, nb)
+	res := Result{
+		Middleware: sc.Middleware, TraceName: sc.TraceName, BotClass: sc.BotClass,
+		Offset: sc.Offset, Seed: seed, TriggeredAt: -1,
+	}
+
+	var cfg core.Config
+	useService := false
+	creditFraction := sc.Profile.CreditFraction
+	switch {
+	case j.Config != nil:
+		cfg = *j.Config
+		useService = true
+		if j.CreditFraction != nil {
+			creditFraction = *j.CreditFraction
+		}
+		res.Strategy = cfg.Strategy.Label()
+	case sc.Strategy != nil:
+		cfg = core.Config{Strategy: *sc.Strategy, MonitorPeriod: DefaultMonitorPeriod}
+		useService = true
+		res.Strategy = sc.Strategy.Label()
+	}
+
+	kernel := sim.NewSharded(ns)
+	ctl := kernel.Control()
+	tr, err := CachedTrace(sc, horizon)
+	if err != nil {
+		panic(err)
+	}
+
+	var svc *core.Service
+	if useService {
+		simCloud := cloud.NewSimCloud(ctl, cloud.DefaultSimConfig(), sim.NewRNG(seed))
+		if sc.Profile.Shards > 0 && cfg.Shards == 0 {
+			cfg.Shards = sc.Profile.Shards
+		}
+		svc = core.NewShardedService(ctl, simCloud, cfg)
+	}
+
+	cells := make([]*subCell, nb)
+	res.Batches = make([]BatchResult, nb)
+	for k := 0; k < nb; k++ {
+		workload, err := sc.SubWorkload(k)
+		if err != nil {
+			panic(err)
+		}
+		id := sc.SubBotID(k)
+		at := sc.SubmitAt(k)
+		res.Batches[k] = BatchResult{
+			BatchID: id, SubmittedAt: at, Size: workload.Size(), TriggeredAt: -1,
+		}
+		res.Size += workload.Size()
+
+		shardEng := kernel.Shard(batchShard(id, ns))
+		srv := newServer(shardEng, sc.Middleware)
+		// The batch's dedicated slice of the common pool: partition k of nb,
+		// a pure function of the node IDs — invariant under the shard count.
+		middleware.BindTracePartition(shardEng, tr, srv, k, nb)
+		cell := &subCell{id: id, srv: srv}
+		cells[k] = cell
+		srv.AddListener(cell)
+
+		// The submission fires on the batch's shard; the service-side
+		// registration fires on the control engine at the same instant, i.e.
+		// at the barrier closing that window.
+		shardEng.At(at, func() { srv.Submit(middleware.BatchFromBoT(workload)) })
+		if svc != nil {
+			br := &res.Batches[k]
+			ctl.At(at, func() {
+				if err := svc.RegisterQoSShard("user", id, sc.EnvKey(), workload.Size(), srv); err != nil {
+					panic(err)
+				}
+				credits := creditFraction * workload.WorkloadCPUHours() * svc.Credits.Rate()
+				if credits > 0 {
+					svc.Credits.Deposit("user", credits)
+					if err := svc.OrderQoS("user", id, credits); err != nil {
+						panic(err)
+					}
+					br.CreditsAllocated = credits
+				}
+			})
+		}
+	}
+
+	// Barrier window: the monitor period when a service runs (its tick is
+	// the only cross-shard actor), else the horizon — with no control events
+	// a baseline dispatches in one window per idle gap.
+	window := horizon
+	if useService {
+		window = cfg.MonitorPeriod
+		if window <= 0 {
+			window = DefaultMonitorPeriod
+		}
+	}
+	kernel.Run(window, func() bool {
+		if ctl.Now() > horizon {
+			return true
+		}
+		for _, c := range cells {
+			if !c.done {
+				return false
+			}
+		}
+		return true
+	})
+
+	res.Events = kernel.Executed()
+	st := kernel.Stats()
+	res.KernelShards = ns
+	res.Barriers = st.Barriers
+	res.ShardEvents = st.ShardEvents
+	res.BarrierStallSec = st.StallSeconds
+
+	res.Completed = true
+	for k := range res.Batches {
+		br := &res.Batches[k]
+		cell := cells[k]
+		if cell.done {
+			br.Completed = true
+			br.CompletionTime = cell.completedAt - br.SubmittedAt
+			if cell.completedAt > res.CompletionTime {
+				res.CompletionTime = cell.completedAt // the cell's makespan
+			}
+		} else {
+			res.Completed = false
+		}
+		res.CreditsAllocated += br.CreditsAllocated
+		if svc == nil {
+			continue
+		}
+		if u, err := svc.Usage(br.BatchID); err == nil {
+			br.CreditsBilled = u.CreditsBilled
+			br.Instances = u.InstancesStarted
+			if u.TriggeredAt >= 0 {
+				br.TriggeredAt = u.TriggeredAt - br.SubmittedAt
+				if res.TriggeredAt < 0 || u.TriggeredAt < res.TriggeredAt {
+					res.TriggeredAt = u.TriggeredAt // earliest trigger in the cell
+				}
+			}
+			res.CreditsBilled += u.CreditsBilled
+			res.CloudCPUSeconds += u.CPUSeconds
+			res.Instances += u.InstancesStarted
+		}
+	}
+	if !res.Completed {
+		res.CompletionTime = 0
+	}
+	return Entry{Result: res}
+}

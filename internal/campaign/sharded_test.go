@@ -1,0 +1,155 @@
+package campaign
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"spequlos/internal/core"
+)
+
+// miniSharded returns a small sharded-kernel cell profile sized for tests.
+func miniSharded(kernelShards int) Profile {
+	return Profile{
+		Name: "ministress", BotScale: 0.01, Offsets: 1, PoolCap: 240,
+		HorizonDays: 10, CreditFraction: 0.10,
+		Batches: 8, SubmitSpread: 1800, ShardedKernel: true,
+		KernelShards: kernelShards,
+	}
+}
+
+// normalizeSharded strips the execution-only counters (shard layout, wall
+// clock) so results can be compared across kernel shard counts.
+func normalizeSharded(r Result) Result {
+	r.KernelShards = 0
+	r.Barriers = 0
+	r.ShardEvents = nil
+	r.BarrierStallSec = 0
+	return r
+}
+
+func runMini(t *testing.T, shards int, withStrategy bool) Result {
+	t.Helper()
+	sc := Scenario{
+		Profile: miniSharded(shards), Middleware: XWHEP, TraceName: "seti",
+		BotClass: "SMALL",
+	}
+	if withStrategy {
+		st := core.DefaultStrategy()
+		sc.Strategy = &st
+	}
+	e := Execute(Job{Scenario: sc})
+	if e.Result.KernelShards != shards && !(shards > 8) {
+		t.Fatalf("cell ran with %d kernel shards, want %d", e.Result.KernelShards, shards)
+	}
+	return e.Result
+}
+
+// TestShardedKernelDeterminism is the shard-count determinism guard: the
+// same cell must produce byte-identical results (JSON-compared, execution
+// counters excluded) at 1, 2, 4 and 8 shards, with and without the QoS
+// service. The 1-shard run is the serial reference.
+func TestShardedKernelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded determinism table is not -short")
+	}
+	for _, withStrategy := range []bool{false, true} {
+		name := "baseline"
+		if withStrategy {
+			name = "strategy"
+		}
+		t.Run(name, func(t *testing.T) {
+			ref := runMini(t, 1, withStrategy)
+			if !ref.Completed {
+				t.Fatalf("reference (1-shard) cell did not complete: %+v", ref)
+			}
+			refJSON, err := json.Marshal(normalizeSharded(ref))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				got := runMini(t, shards, withStrategy)
+				gotJSON, err := json.Marshal(normalizeSharded(got))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(gotJSON) != string(refJSON) {
+					t.Fatalf("result diverged at %d shards:\n 1: %s\n%2d: %s",
+						shards, refJSON, shards, gotJSON)
+				}
+			}
+		})
+	}
+}
+
+func TestShardedKernelStatsRecorded(t *testing.T) {
+	res := runMini(t, 2, true)
+	if !res.Completed {
+		t.Fatalf("cell did not complete")
+	}
+	if res.Barriers == 0 {
+		t.Fatal("no barriers recorded")
+	}
+	if len(res.ShardEvents) != 2 {
+		t.Fatalf("ShardEvents = %v, want 2 shards", res.ShardEvents)
+	}
+	var sum uint64
+	for _, c := range res.ShardEvents {
+		sum += c
+	}
+	if sum == 0 || sum > res.Events {
+		t.Fatalf("shard events %d inconsistent with total %d", sum, res.Events)
+	}
+	// The service must have engaged on its control engine: a strategy cell
+	// with credits should trigger cloud support for at least one batch.
+	if res.Instances == 0 {
+		t.Fatal("strategy cell started no cloud instances")
+	}
+}
+
+// TestUseShardedKernelFallbacks pins the model-routing rule: couplings the
+// barrier protocol cannot express run on the single-server model.
+func TestUseShardedKernelFallbacks(t *testing.T) {
+	p := miniSharded(2)
+	base := Job{Scenario: Scenario{Profile: p, Middleware: XWHEP, TraceName: "seti", BotClass: "SMALL"}}
+	if !useShardedKernel(base) {
+		t.Fatal("plain sharded-kernel cell should use the sharded kernel")
+	}
+	dup := base
+	st := core.Strategy{Trigger: core.CompletionThreshold{Frac: 0.9}, Sizing: core.Conservative{}, Deploy: core.CloudDuplication}
+	dup.Scenario.Strategy = &st
+	if useShardedKernel(dup) {
+		t.Fatal("CloudDuplication cell must fall back to the single-server model")
+	}
+	tiered := base
+	tiered.Scenario.Profile.Tiered = true
+	if useShardedKernel(tiered) {
+		t.Fatal("tiered cell must fall back to the single-server model")
+	}
+}
+
+// TestShardedKernelInJobKey pins that the model flag keys the job while the
+// execution shard count does not.
+func TestShardedKernelInJobKey(t *testing.T) {
+	j1 := Job{Scenario: Scenario{Profile: miniSharded(1), Middleware: XWHEP, TraceName: "seti", BotClass: "SMALL"}}
+	j4 := Job{Scenario: Scenario{Profile: miniSharded(4), Middleware: XWHEP, TraceName: "seti", BotClass: "SMALL"}}
+	if j1.Key() != j4.Key() {
+		t.Fatalf("KernelShards leaked into the job key:\n%s\n%s", j1.Key(), j4.Key())
+	}
+	if !strings.Contains(j1.Key(), ",skernel") {
+		t.Fatalf("sharded-kernel model missing from job key: %s", j1.Key())
+	}
+	serial := j1
+	serial.Scenario.Profile.ShardedKernel = false
+	if serial.Key() == j1.Key() {
+		t.Fatal("sharded and single-server models share a job key")
+	}
+}
+
+// TestStressProfileSharded pins the stress profile's PR 7 shape.
+func TestStressProfileSharded(t *testing.T) {
+	p := Stress()
+	if !p.ShardedKernel || p.Batches != 32 {
+		t.Fatalf("stress profile = %+v, want ShardedKernel with 32 batches", p)
+	}
+}

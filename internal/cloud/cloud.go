@@ -45,6 +45,10 @@ type SimCloud struct {
 	rng     *sim.RNG
 	seq     int
 	running map[*Instance]struct{}
+
+	// opBoot is the registered boot-completion handler (Payload.A =
+	// *Instance): starting an instance allocates no scheduling closure.
+	opBoot sim.Op
 }
 
 // NewSimCloud builds a simulated IaaS on the engine.
@@ -55,7 +59,13 @@ func NewSimCloud(eng *sim.Engine, cfg SimConfig, rng *sim.RNG) *SimCloud {
 	if cfg.Power == nil {
 		cfg.Power = DefaultSimConfig().Power
 	}
-	return &SimCloud{eng: eng, cfg: cfg, rng: rng.Fork("cloud"), running: map[*Instance]struct{}{}}
+	c := &SimCloud{eng: eng, cfg: cfg, rng: rng.Fork("cloud"), running: map[*Instance]struct{}{}}
+	c.opBoot = eng.RegisterOp(func(p sim.Payload) {
+		inst := p.A.(*Instance)
+		inst.BootedAt = c.eng.Now()
+		inst.target.WorkerJoin(inst.Worker)
+	})
+	return c
 }
 
 // Instance is one provisioned cloud worker bound to a DG server.
@@ -107,10 +117,7 @@ func (c *SimCloud) Start(target middleware.Server, batchID string, flat bool) *I
 		StoppedAt: -1,
 		target:    target,
 	}
-	inst.bootEv = c.eng.After(c.cfg.BootDelay, func() {
-		inst.BootedAt = c.eng.Now()
-		target.WorkerJoin(w)
-	})
+	inst.bootEv = c.eng.AfterOp(c.cfg.BootDelay, c.opBoot, sim.Payload{A: inst})
 	c.running[inst] = struct{}{}
 	return inst
 }

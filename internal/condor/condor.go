@@ -60,6 +60,12 @@ type Server struct {
 	// barren is dispatch's per-round scratch memo of batches with no
 	// eligible work, reused across rounds to avoid per-tick allocation.
 	barren map[string]bool
+
+	// Registered op handlers: event scheduling on the hot path carries an
+	// arena payload instead of allocating a closure.
+	opArrive sim.Op // Payload.A = *ctask
+	opDone   sim.Op // Payload.A = *exec: the job finishes on its machine
+	opDetect sim.Op // Payload.A = *exec: next ClassAd poll notices the loss
 }
 
 type batch struct {
@@ -98,6 +104,7 @@ func (t *ctask) cloudDups() int {
 
 type exec struct {
 	w      *middleware.Worker
+	t      *ctask
 	doneEv sim.Event
 	// startedAt and startRemaining let the checkpoint logic compute the
 	// preserved progress when the machine is lost.
@@ -147,7 +154,7 @@ func New(eng *sim.Engine, cfg Config) *Server {
 	if cfg.CheckpointPeriod <= 0 {
 		cfg.CheckpointPeriod = 900
 	}
-	return &Server{
+	s := &Server{
 		eng:      eng,
 		cfg:      cfg,
 		batches:  map[string]*batch{},
@@ -155,6 +162,13 @@ func New(eng *sim.Engine, cfg Config) *Server {
 		idle:     middleware.NewIdleSet(),
 		barren:   map[string]bool{},
 	}
+	s.opArrive = eng.RegisterOp(func(p sim.Payload) { s.arrive(p.A.(*ctask)) })
+	s.opDone = eng.RegisterOp(func(p sim.Payload) {
+		ex := p.A.(*exec)
+		s.complete(ex.w, ex.t)
+	})
+	s.opDetect = eng.RegisterOp(func(p sim.Payload) { s.detect(p.A.(*exec)) })
+	return s
 }
 
 // MiddlewareName implements middleware.Server.
@@ -176,14 +190,17 @@ func (s *Server) Submit(b middleware.Batch) {
 	for _, spec := range b.Tasks {
 		t := &ctask{batch: bt, spec: spec, remaining: spec.NOps, execs: map[*middleware.Worker]*exec{}}
 		bt.tasks = append(bt.tasks, t)
-		s.eng.After(spec.Arrival, func() {
-			t.arrived = true
-			bt.arrived++
-			t.queued = true
-			s.queue.push(t)
-			s.dispatch()
-		})
+		s.eng.AfterOp(spec.Arrival, s.opArrive, sim.Payload{A: t})
 	}
+}
+
+// arrive makes a job visible to the schedd at its arrival time.
+func (s *Server) arrive(t *ctask) {
+	t.arrived = true
+	t.batch.arrived++
+	t.queued = true
+	s.queue.push(t)
+	s.dispatch()
 }
 
 // WorkerJoin implements middleware.Server.
@@ -230,18 +247,24 @@ func (s *Server) WorkerLeave(w *middleware.Worker) {
 		t.remaining = rem
 	}
 	detectAt := s.cfg.PollInterval / 2 // expected latency of the next poll
-	s.eng.After(detectAt, func() {
-		if t.completed || t.execs[w] != ex {
-			return
-		}
-		delete(t.execs, w)
-		if len(t.execs) == 0 && !t.queued {
-			t.batch.running--
-			t.queued = true
-			s.queue.push(t)
-			s.dispatch()
-		}
-	})
+	s.eng.AfterOp(detectAt, s.opDetect, sim.Payload{A: ex})
+}
+
+// detect fires when the central manager's poll notices a lost machine: the
+// execution is abandoned and, if it was the job's last one, the job is
+// requeued for migration.
+func (s *Server) detect(ex *exec) {
+	t := ex.t
+	if t.completed || t.execs[ex.w] != ex {
+		return
+	}
+	delete(t.execs, ex.w)
+	if len(t.execs) == 0 && !t.queued {
+		t.batch.running--
+		t.queued = true
+		s.queue.push(t)
+		s.dispatch()
+	}
 }
 
 func (s *Server) dispatch() {
@@ -333,10 +356,10 @@ func (s *Server) assign(w *middleware.Worker, t *ctask) {
 		t.batch.assigned++
 		s.listeners.TaskAssigned(t.batch.spec.ID, t.spec.ID, s.eng.Now())
 	}
-	ex := &exec{w: w, startedAt: s.eng.Now(), startRemaining: t.remaining}
+	ex := &exec{w: w, t: t, startedAt: s.eng.Now(), startRemaining: t.remaining}
 	t.execs[w] = ex
 	dur := t.remaining / w.Power
-	ex.doneEv = s.eng.After(dur, func() { s.complete(w, t) })
+	ex.doneEv = s.eng.AfterOp(dur, s.opDone, sim.Payload{A: ex})
 }
 
 func (s *Server) complete(w *middleware.Worker, t *ctask) {

@@ -75,6 +75,10 @@ type Service struct {
 	Cloud   *cloud.SimCloud
 
 	primary middleware.Server
+	// sharded marks a multi-server deployment (NewShardedService): every
+	// batch binds its own DG server, typically living on a shard engine of a
+	// sim.Sharded kernel while the Service runs on the control engine.
+	sharded bool
 	batches map[string]*qosBatch
 	// order preserves registration order: map iteration order would make
 	// multi-batch runs non-reproducible for a given seed.
@@ -105,9 +109,12 @@ type batchPlan struct {
 }
 
 type qosBatch struct {
-	id        string
-	user      string
-	tier      Tier
+	id   string
+	user string
+	tier Tier
+	// srv is the DG server hosting the batch: the service-wide primary in
+	// the single-server deployment, the batch's own server in sharded mode.
+	srv       middleware.Server
 	bi        *BatchInfo
 	started   bool // cloud support triggered
 	triggered float64
@@ -170,6 +177,41 @@ func NewService(eng *sim.Engine, primary middleware.Server, simCloud *cloud.SimC
 	return s
 }
 
+// NewShardedService wires a SpeQuloS service that spans multiple DG
+// servers: every batch registers with its own server (RegisterQoSShard),
+// typically hosted on a shard engine of a sim.Sharded kernel while the
+// service itself — monitor ticker, cloud, ledger — lives on the control
+// engine. Cross-server effects only happen inside the monitor tick, which
+// the kernel runs serially at barriers.
+//
+// The CloudDuplication deployment is not supported in sharded mode: its
+// bidirectional result mirror would couple servers outside the barrier
+// protocol. NewShardedService panics if the strategy requests it.
+func NewShardedService(eng *sim.Engine, simCloud *cloud.SimCloud, cfg Config) *Service {
+	if cfg.Strategy.Deploy == CloudDuplication {
+		panic("core: CloudDuplication is not supported by the sharded service")
+	}
+	if cfg.MonitorPeriod <= 0 {
+		cfg.MonitorPeriod = 60
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	_, countDriven := cfg.Strategy.Trigger.(CountDrivenTrigger)
+	return &Service{
+		eng:         eng,
+		cfg:         cfg,
+		Info:        NewInformation(),
+		Credits:     NewCreditSystem(),
+		Oracle:      NewOracle(cfg.Strategy),
+		Cloud:       simCloud,
+		sharded:     true,
+		batches:     map[string]*qosBatch{},
+		shards:      cfg.Shards,
+		countDriven: countDriven,
+	}
+}
+
 // serviceListener keeps the due list current and finalizes QoS support the
 // instant a batch completes.
 type serviceListener struct{ s *Service }
@@ -181,6 +223,15 @@ func (l serviceListener) TaskCompleted(batchID string, _ int, _ float64) {
 	l.s.markDirty(batchID)
 }
 func (l serviceListener) BatchCompleted(batchID string, at float64) {
+	if l.s.sharded {
+		// Sharded mode: the completion fires on a shard engine during a
+		// parallel window. Finalization touches the shared calibration
+		// archive and the control-engine cloud, so it is deferred — the mark
+		// routes the batch into the next barrier tick, whose plan step sees
+		// Done() and finalizes serially.
+		l.s.markDirty(batchID)
+		return
+	}
 	if qb, ok := l.s.batches[batchID]; ok {
 		l.s.finalize(qb)
 	}
@@ -205,6 +256,28 @@ func (s *Service) RegisterQoS(user, batchID, envKey string, size int) error {
 // only matters when Config.Tiers is set; it then decides admission priority
 // and the share of contended cloud supply the batch competes for.
 func (s *Service) RegisterQoSTier(user, batchID, envKey string, size int, tier Tier) error {
+	if s.sharded {
+		return fmt.Errorf("core: sharded service requires RegisterQoSShard (batch %q)", batchID)
+	}
+	return s.register(user, batchID, envKey, size, tier, s.primary)
+}
+
+// RegisterQoSShard registers a batch of a sharded service together with the
+// DG server hosting it. The server must host only this service's batches
+// and must not be shared across shard engines; the service attaches its
+// activity listener to it. Only valid on a NewShardedService instance.
+func (s *Service) RegisterQoSShard(user, batchID, envKey string, size int, srv middleware.Server) error {
+	if !s.sharded {
+		return fmt.Errorf("core: RegisterQoSShard requires NewShardedService (batch %q)", batchID)
+	}
+	if err := s.register(user, batchID, envKey, size, "", srv); err != nil {
+		return err
+	}
+	srv.AddListener(serviceListener{s})
+	return nil
+}
+
+func (s *Service) register(user, batchID, envKey string, size int, tier Tier, srv middleware.Server) error {
 	if _, ok := s.batches[batchID]; ok {
 		return fmt.Errorf("core: batch %q already registered", batchID)
 	}
@@ -215,7 +288,7 @@ func (s *Service) RegisterQoSTier(user, batchID, envKey string, size int, tier T
 	h := fnv.New32a()
 	h.Write([]byte(batchID))
 	s.batches[batchID] = &qosBatch{
-		id: batchID, user: user, tier: tier, bi: bi, triggered: -1,
+		id: batchID, user: user, tier: tier, srv: srv, bi: bi, triggered: -1,
 		shardHash: h.Sum32(), dirty: true, eligibleSince: -1,
 		lastBill: map[*cloud.Instance]float64{},
 	}
@@ -361,7 +434,7 @@ func (s *Service) planBatch(qb *qosBatch, progress map[string]middleware.Progres
 	if batched {
 		s.observeWith(qb, progress[qb.id])
 	} else {
-		s.observeWith(qb, s.primary.Progress(qb.id))
+		s.observeWith(qb, qb.srv.Progress(qb.id))
 	}
 	if qb.bi.Done() {
 		qb.plan.finalize = true
@@ -376,7 +449,7 @@ func (s *Service) observe(qb *qosBatch) {
 	if qb == nil || qb.finalized {
 		return
 	}
-	s.observeWith(qb, s.primary.Progress(qb.id))
+	s.observeWith(qb, qb.srv.Progress(qb.id))
 }
 
 // observeWith records an already-fetched progress view of the batch.
@@ -523,9 +596,9 @@ func (s *Service) applyBatch(qb *qosBatch) {
 	qb.started = true
 	qb.triggered = s.eng.Now()
 
-	target := s.primary
+	target := qb.srv
 	if qb.plan.reschedule {
-		s.primary.SetReschedule(true)
+		qb.srv.SetReschedule(true)
 	}
 	if qb.plan.cloudDup {
 		target = s.startCloudServer(qb)
@@ -546,12 +619,12 @@ func (s *Service) startCloudServer(qb *qosBatch) middleware.Server {
 		panic("core: CloudDuplication requires a CloudServerFactory")
 	}
 	sec := factory()
-	tail := s.primary.Incomplete(qb.id)
+	tail := qb.srv.Incomplete(qb.id)
 	sec.Submit(middleware.Batch{ID: qb.id, Tasks: tail})
 	// Results computed in the cloud complete the primary's tasks; results
 	// arriving on the primary abort the cloud copies.
-	sec.AddListener(mirror{from: sec, to: s.primary, batchID: qb.id})
-	s.primary.AddListener(mirror{from: s.primary, to: sec, batchID: qb.id})
+	sec.AddListener(mirror{from: sec, to: qb.srv, batchID: qb.id})
+	qb.srv.AddListener(mirror{from: qb.srv, to: sec, batchID: qb.id})
 	qb.cloudSrv = sec
 	return sec
 }

@@ -1,6 +1,8 @@
 package middleware
 
 import (
+	"hash/fnv"
+
 	"spequlos/internal/sim"
 	"spequlos/internal/trace"
 )
@@ -8,49 +10,101 @@ import (
 // Binding drives worker churn on a server from an availability trace. Each
 // trace node becomes one persistent Worker whose join/leave events follow
 // the node's availability intervals. Events are scheduled lazily — one
-// pending event per node — so simulations that finish early never pay for
-// the rest of the trace.
+// pending event per node, carried as op-code events with inline payloads,
+// so churn allocates nothing beyond the per-node record.
 type Binding struct {
 	eng     *sim.Engine
 	srv     Server
 	workers []*Worker
 	stopped bool
+
+	// opJoin/opLeave are the binding's registered churn handlers
+	// (Payload.A = *boundNode, I = interval index, X = trace time base).
+	opJoin  sim.Op
+	opLeave sim.Op
+}
+
+// boundNode ties a worker to its trace node for the churn op handlers.
+type boundNode struct {
+	b    *Binding
+	w    *Worker
+	node *trace.Node
 }
 
 // BindTrace attaches every node of the trace to the server, starting at the
 // current virtual time (trace time zero is "now").
 func BindTrace(eng *sim.Engine, tr *trace.Trace, srv Server) *Binding {
+	return BindTracePartition(eng, tr, srv, 0, 1)
+}
+
+// BindTracePartition attaches the part-th of parts stable-hash partitions
+// of the trace's nodes to the server. Node→partition assignment is a pure
+// function of the node ID (FNV-32a, the shard-hash idiom of the scheduler's
+// plan pool), so the union of all parts is exactly BindTrace's node set and
+// a node lands on the same partition at any partition count that divides
+// the same way. The sharded campaign kernel uses this to give every QoS
+// batch a dedicated, disjoint slice of one common trace.
+func BindTracePartition(eng *sim.Engine, tr *trace.Trace, srv Server, part, parts int) *Binding {
+	if parts < 1 || part < 0 || part >= parts {
+		parts, part = 1, 0
+	}
 	b := &Binding{eng: eng, srv: srv}
+	b.opJoin = eng.RegisterOp(func(p sim.Payload) { p.A.(*boundNode).join(p.I, p.X) })
+	b.opLeave = eng.RegisterOp(func(p sim.Payload) { p.A.(*boundNode).leave(p.I, p.X) })
 	base := eng.Now()
 	for _, node := range tr.Nodes {
 		if len(node.Intervals) == 0 {
 			continue
 		}
+		if parts > 1 && nodePartition(node.ID, parts) != part {
+			continue
+		}
 		w := &Worker{ID: node.ID, Power: node.Power}
 		b.workers = append(b.workers, w)
-		b.scheduleJoin(w, node, 0, base)
+		bn := &boundNode{b: b, w: w, node: node}
+		bn.schedule(0, base)
 	}
 	return b
 }
 
-func (b *Binding) scheduleJoin(w *Worker, node *trace.Node, idx int, base float64) {
-	if idx >= len(node.Intervals) {
+// nodePartition maps a trace-node ID onto one of parts partitions.
+func nodePartition(id, parts int) int {
+	h := fnv.New32a()
+	var buf [4]byte
+	buf[0] = byte(id)
+	buf[1] = byte(id >> 8)
+	buf[2] = byte(id >> 16)
+	buf[3] = byte(id >> 24)
+	h.Write(buf[:])
+	return int(h.Sum32() % uint32(parts))
+}
+
+// schedule arms the node's next join event, if any intervals remain.
+func (bn *boundNode) schedule(idx int32, base float64) {
+	if int(idx) >= len(bn.node.Intervals) {
 		return
 	}
-	iv := node.Intervals[idx]
-	b.eng.At(base+iv.Start, func() {
-		if b.stopped {
-			return
-		}
-		b.srv.WorkerJoin(w)
-		b.eng.At(base+iv.End, func() {
-			if b.stopped {
-				return
-			}
-			b.srv.WorkerLeave(w)
-			b.scheduleJoin(w, node, idx+1, base)
-		})
-	})
+	iv := bn.node.Intervals[idx]
+	bn.b.eng.AtOp(sim.Time(base+iv.Start), bn.b.opJoin, sim.Payload{A: bn, I: idx, X: base})
+}
+
+func (bn *boundNode) join(idx int32, base float64) {
+	b := bn.b
+	if b.stopped {
+		return
+	}
+	b.srv.WorkerJoin(bn.w)
+	iv := bn.node.Intervals[idx]
+	b.eng.AtOp(sim.Time(base+iv.End), b.opLeave, sim.Payload{A: bn, I: idx, X: base})
+}
+
+func (bn *boundNode) leave(idx int32, base float64) {
+	b := bn.b
+	if b.stopped {
+		return
+	}
+	b.srv.WorkerLeave(bn.w)
+	bn.schedule(idx+1, base)
 }
 
 // Stop detaches the binding: future churn events become no-ops. Workers

@@ -13,6 +13,13 @@
 // Event handles returned to callers are small values carrying a generation
 // counter, so a handle to a fired-and-recycled slot can never cancel the
 // slot's next occupant.
+//
+// Events come in two flavors. Closure events (At/After) carry a func() —
+// convenient, but every capture allocates. Op-code events (AtOp/AfterOp)
+// carry a registered handler index plus an inline Payload stored in the
+// arena slot itself, so scheduling allocates nothing and the event is a
+// plain value relocatable across queues; the simulation hot paths (worker
+// churn, task completions, deadlines, ticker rearms) all use them.
 package sim
 
 import (
@@ -56,15 +63,42 @@ func (e Event) Pending() bool {
 	return s.gen == e.gen && s.heapIdx >= 0
 }
 
+// Op identifies an event handler registered on an engine with RegisterOp.
+// The zero Op is "no op" (a closure event). Ops are engine-local: an Op
+// registered on one engine must not be scheduled on another.
+type Op int32
+
+// Payload is the inline argument block of an op-code event, stored directly
+// in the event's arena slot. A and B hold receiver/argument pointers —
+// storing a pointer in an interface does not allocate — I carries a small
+// integer (an index, a count) and X a float (a base time, a duration), so
+// the typical simulation callback schedules with zero heap allocations.
+type Payload struct {
+	// A and B are pointer-shaped arguments (e.g. a worker and a task).
+	A, B any
+	// I is an inline integer argument (e.g. a trace-interval index).
+	I int32
+	// X is an inline float argument (e.g. a schedule base time).
+	X float64
+}
+
+// OpFunc is a registered event handler: it receives the payload the event
+// was scheduled with. Handlers run on the engine's event loop exactly like
+// closure callbacks.
+type OpFunc func(p Payload)
+
 // slot is one arena cell. A slot is live while heapIdx >= 0; firing or
 // cancelling bumps gen and returns the slot to the freelist, invalidating
-// every outstanding handle to the previous occupant.
+// every outstanding handle to the previous occupant. An event is either a
+// closure (fn, op == 0) or an op-code event (op > 0, payload inline).
 type slot struct {
 	at      Time
 	seq     uint64
 	fn      func()
+	pay     Payload
 	heapIdx int32
 	gen     uint32
+	op      Op
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
@@ -78,6 +112,11 @@ type Engine struct {
 	slots []slot
 	free  []int32
 	heap  []int32 // arena indices ordered by (at, seq)
+
+	// ops is the registered op-handler table; Op n indexes ops[n-1].
+	ops []OpFunc
+	// tickerOp is the lazily-registered rearm handler shared by all Tickers.
+	tickerOp Op
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -96,6 +135,19 @@ func (e *Engine) Clamped() uint64 { return e.clamped }
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// RegisterOp registers an event handler on the engine and returns its op
+// code. Registration is meant to happen once per handler at construction
+// time (a server registers its callback family when it is built); the
+// returned Op is then scheduled with AtOp/AfterOp without any per-event
+// allocation. Ops cannot be unregistered.
+func (e *Engine) RegisterOp(fn OpFunc) Op {
+	if fn == nil {
+		panic("sim: RegisterOp with nil handler")
+	}
+	e.ops = append(e.ops, fn)
+	return Op(len(e.ops))
+}
+
 // ScheduleAt schedules fn at absolute virtual time t, validating the time.
 // NaN/±Inf returns ErrInvalidTime and no event. A time before the current
 // virtual time returns ErrPastTime together with a valid event clamped to
@@ -111,7 +163,7 @@ func (e *Engine) ScheduleAt(t Time, fn func()) (Event, error) {
 		t = e.now
 		e.clamped++
 	}
-	return e.push(t, fn), err
+	return e.push(t, fn, 0, Payload{}), err
 }
 
 // At schedules fn at absolute virtual time t. Times in the past are clamped
@@ -134,11 +186,48 @@ func (e *Engine) After(d float64, fn func()) Event {
 		e.clamped++
 		d = 0
 	}
-	return e.push(e.now+d, fn)
+	return e.push(e.now+d, fn, 0, Payload{})
+}
+
+// AtOp schedules a registered op at absolute virtual time t with the given
+// payload. Time handling matches At: past times clamp to now, invalid times
+// panic. Scheduling an op event performs no heap allocation.
+func (e *Engine) AtOp(t Time, op Op, p Payload) Event {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling op event at invalid time %v", t))
+	}
+	e.checkOp(op)
+	if t < e.now {
+		t = e.now
+		e.clamped++
+	}
+	return e.push(t, nil, op, p)
+}
+
+// AfterOp schedules a registered op d seconds from now with the given
+// payload. Delay handling matches After: negative delays clamp to 0, NaN and
+// infinite delays panic. Scheduling an op event performs no heap allocation.
+func (e *Engine) AfterOp(d float64, op Op, p Payload) Event {
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		panic(fmt.Sprintf("sim: scheduling op event with invalid delay %v", d))
+	}
+	e.checkOp(op)
+	if d < 0 {
+		e.clamped++
+		d = 0
+	}
+	return e.push(e.now+d, nil, op, p)
+}
+
+// checkOp validates an op code against the registration table.
+func (e *Engine) checkOp(op Op) {
+	if op <= 0 || int(op) > len(e.ops) {
+		panic(fmt.Sprintf("sim: scheduling unregistered op %d", op))
+	}
 }
 
 // push allocates a slot (reusing the freelist) and inserts it in the heap.
-func (e *Engine) push(t Time, fn func()) Event {
+func (e *Engine) push(t Time, fn func(), op Op, p Payload) Event {
 	e.seq++
 	var idx int32
 	if n := len(e.free); n > 0 {
@@ -152,6 +241,8 @@ func (e *Engine) push(t Time, fn func()) Event {
 	s.at = t
 	s.seq = e.seq
 	s.fn = fn
+	s.op = op
+	s.pay = p
 	s.heapIdx = int32(len(e.heap))
 	e.heap = append(e.heap, idx)
 	e.siftUp(len(e.heap) - 1)
@@ -174,9 +265,12 @@ func (e *Engine) Cancel(ev Event) {
 }
 
 // release recycles a slot: the generation bump invalidates old handles.
+// Payload pointers are dropped so the arena does not retain dead objects.
 func (e *Engine) release(idx int32) {
 	s := &e.slots[idx]
 	s.fn = nil
+	s.op = 0
+	s.pay = Payload{}
 	s.heapIdx = -1
 	s.gen++
 	e.free = append(e.free, idx)
@@ -201,11 +295,18 @@ func (e *Engine) Step() bool {
 	s := &e.slots[idx]
 	e.now = s.at
 	fn := s.fn
-	// Recycle before invoking: fn may immediately schedule into this slot;
-	// the generation bump keeps handles to the fired event invalid.
+	op := s.op
+	pay := s.pay
+	// Recycle before invoking: the callback may immediately schedule into
+	// this slot; the generation bump keeps handles to the fired event
+	// invalid, and the op/payload copies above survive the reuse.
 	e.release(idx)
 	e.executed++
-	fn()
+	if op > 0 {
+		e.ops[op-1](pay)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -224,6 +325,30 @@ func (e *Engine) RunUntil(t Time) {
 	if t > e.now {
 		e.now = t
 	}
+}
+
+// RunBefore fires events with time strictly < t, then sets the clock to t.
+// Events scheduled exactly at t do NOT fire — they belong to the next
+// window. The sharded kernel uses it to execute one barrier window
+// [now, t): after RunBefore every shard clock sits exactly on the barrier,
+// so cross-shard effects injected at the barrier are never in a shard's
+// past.
+func (e *Engine) RunBefore(t Time) {
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at < t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// NextEventTime returns the time of the earliest pending event, or
+// (0, false) when the queue is empty.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slots[e.heap[0]].at, true
 }
 
 // RunWhile fires events while cond() holds and the queue is non-empty.
@@ -304,26 +429,33 @@ type Ticker struct {
 }
 
 // NewTicker starts a periodic callback; the first tick fires one period from
-// now. Period must be positive.
+// now. Period must be positive. Rearming rides the op-code event path, so a
+// long-running ticker allocates once at creation and never per tick.
 func (e *Engine) NewTicker(period float64, fn func(Time)) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
+	}
+	if e.tickerOp == 0 {
+		e.tickerOp = e.RegisterOp(func(p Payload) { p.A.(*Ticker).fire() })
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
 	t.schedule()
 	return t
 }
 
+// fire runs one tick and rearms unless the callback stopped the ticker.
+func (t *Ticker) fire() {
+	if t.done {
+		return
+	}
+	t.fn(t.engine.Now())
+	if !t.done {
+		t.schedule()
+	}
+}
+
 func (t *Ticker) schedule() {
-	t.ev = t.engine.After(t.period, func() {
-		if t.done {
-			return
-		}
-		t.fn(t.engine.Now())
-		if !t.done {
-			t.schedule()
-		}
-	})
+	t.ev = t.engine.AfterOp(t.period, t.engine.tickerOp, Payload{A: t})
 }
 
 // Stop halts the ticker; idempotent.

@@ -52,6 +52,12 @@ type Server struct {
 	// barren is dispatch's per-round scratch memo of batches with no
 	// eligible work, reused across rounds to avoid per-tick allocation.
 	barren map[string]bool
+
+	// Registered op handlers: event scheduling on the hot path carries an
+	// arena payload instead of allocating a closure.
+	opArrive sim.Op // Payload.A = *xtask
+	opDone   sim.Op // Payload.A = *exec: the execution's result arrives
+	opDetect sim.Op // Payload.A = *exec: worker_timeout elapsed since loss
 }
 
 type batch struct {
@@ -90,6 +96,7 @@ func (t *xtask) cloudDups() int {
 
 type exec struct {
 	w      *middleware.Worker
+	t      *xtask
 	doneEv sim.Event
 	dead   bool // worker left; awaiting timeout detection
 }
@@ -147,7 +154,7 @@ func New(eng *sim.Engine, cfg Config) *Server {
 	if cfg.WorkerTimeout <= 0 {
 		cfg.WorkerTimeout = 900
 	}
-	return &Server{
+	s := &Server{
 		eng:      eng,
 		cfg:      cfg,
 		batches:  map[string]*batch{},
@@ -155,6 +162,13 @@ func New(eng *sim.Engine, cfg Config) *Server {
 		idle:     middleware.NewIdleSet(),
 		barren:   map[string]bool{},
 	}
+	s.opArrive = eng.RegisterOp(func(p sim.Payload) { s.arrive(p.A.(*xtask)) })
+	s.opDone = eng.RegisterOp(func(p sim.Payload) {
+		ex := p.A.(*exec)
+		s.complete(ex.w, ex.t)
+	})
+	s.opDetect = eng.RegisterOp(func(p sim.Payload) { s.detect(p.A.(*exec)) })
+	return s
 }
 
 // MiddlewareName implements middleware.Server.
@@ -176,14 +190,17 @@ func (s *Server) Submit(b middleware.Batch) {
 	for _, spec := range b.Tasks {
 		t := &xtask{batch: bt, spec: spec, execs: map[*middleware.Worker]*exec{}}
 		bt.tasks = append(bt.tasks, t)
-		s.eng.After(spec.Arrival, func() {
-			t.arrived = true
-			bt.arrived++
-			t.queued = true
-			s.queue.push(t)
-			s.dispatch()
-		})
+		s.eng.AfterOp(spec.Arrival, s.opArrive, sim.Payload{A: t})
 	}
+}
+
+// arrive makes a task visible to the scheduler at its arrival time.
+func (s *Server) arrive(t *xtask) {
+	t.arrived = true
+	t.batch.arrived++
+	t.queued = true
+	s.queue.push(t)
+	s.dispatch()
 }
 
 // WorkerJoin implements middleware.Server.
@@ -219,18 +236,24 @@ func (s *Server) WorkerLeave(w *middleware.Worker) {
 	// Failure detection: the last heartbeat arrived within KeepAlivePeriod
 	// before the death; the server times out WorkerTimeout after it.
 	detectAt := s.cfg.WorkerTimeout + s.cfg.KeepAlivePeriod/2
-	s.eng.After(detectAt, func() {
-		if t.completed || t.execs[w] != ex {
-			return
-		}
-		delete(t.execs, w)
-		if len(t.execs) == 0 && !t.queued {
-			t.batch.running--
-			t.queued = true
-			s.priority.push(t)
-			s.dispatch()
-		}
-	})
+	s.eng.AfterOp(detectAt, s.opDetect, sim.Payload{A: ex})
+}
+
+// detect fires when the server times out a lost worker's heartbeats: the
+// execution is abandoned and, if it was the task's last one, the task is
+// requeued with priority.
+func (s *Server) detect(ex *exec) {
+	t := ex.t
+	if t.completed || t.execs[ex.w] != ex {
+		return
+	}
+	delete(t.execs, ex.w)
+	if len(t.execs) == 0 && !t.queued {
+		t.batch.running--
+		t.queued = true
+		s.priority.push(t)
+		s.dispatch()
+	}
 }
 
 // dispatch pairs idle workers with assignable work until no pair remains.
@@ -335,10 +358,10 @@ func (s *Server) assign(w *middleware.Worker, t *xtask) {
 		t.batch.assigned++
 		s.listeners.TaskAssigned(t.batch.spec.ID, t.spec.ID, s.eng.Now())
 	}
-	ex := &exec{w: w}
+	ex := &exec{w: w, t: t}
 	t.execs[w] = ex
 	dur := t.spec.NOps / w.Power
-	ex.doneEv = s.eng.After(dur, func() { s.complete(w, t) })
+	ex.doneEv = s.eng.AfterOp(dur, s.opDone, sim.Payload{A: ex})
 }
 
 // complete handles a result arriving from worker w for task t.
