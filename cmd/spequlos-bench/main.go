@@ -48,6 +48,11 @@ func main() {
 		profile    = flag.String("profile", "standard", "experiment profile: quick standard full stress crowd crowd2k")
 		out        = flag.String("out", "results", "output directory")
 		strats     = flag.String("strategies", "all", "comma-separated strategy labels for the sweep, or 'all'")
+		traces     = flag.String("traces", "all", "comma-separated BE-DCI traces for the matrix, or 'all' (samples the matrix, e.g. for `full` CI subsets)")
+		mws        = flag.String("middlewares", "all", "comma-separated middlewares for the matrix, or 'all'")
+		bots       = flag.String("bots", "all", "comma-separated BoT classes for the matrix, or 'all'")
+		offsets    = flag.Int("offsets", 0, "submission offsets per configuration (0 = the profile's default)")
+		budgetFlag = flag.String("trace-budget", "", "trace-cache byte budget, e.g. 512MiB or 1.5GiB (default: the profile's, else 512MiB); bounds resident trace memory, results are identical at any value")
 		storePath  = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
 		ablations  = flag.Bool("ablations", false, "run the design-choice ablation sweeps")
 		comparison = flag.Bool("comparison", false, "run the three-middleware comparison")
@@ -67,6 +72,16 @@ func main() {
 	}
 	if *shards != 0 {
 		p.KernelShards = *shards
+	}
+	if *budgetFlag != "" {
+		b, err := campaign.ParseByteSize(*budgetFlag)
+		if err != nil {
+			fatal(err)
+		}
+		p.TraceBudgetBytes = b
+	}
+	if *offsets > 0 {
+		p.Offsets = *offsets
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -93,8 +108,9 @@ func main() {
 	// matrix-shaping flags do not apply there; reject non-default values
 	// instead of silently mislabeling a sweep the campaign never ran.
 	if p.Batches > 1 {
-		if *strats != "all" || *ablations || *comparison {
-			fatal(fmt.Errorf("-strategies/-ablations/-comparison do not apply to the %s profile (it runs the default strategy against its paired baseline)", p.Name))
+		if *strats != "all" || *ablations || *comparison ||
+			*traces != "all" || *mws != "all" || *bots != "all" || *offsets > 0 {
+			fatal(fmt.Errorf("matrix-shaping flags (-strategies/-traces/-middlewares/-bots/-offsets/-ablations/-comparison) do not apply to the %s profile (it runs the default strategy against its paired baseline on pinned coordinates)", p.Name))
 		}
 		runCrowd(p, *out, *storePath, *verbose, *benchJSON, *benchLabel, *baseline)
 		return
@@ -114,9 +130,18 @@ func main() {
 	}
 
 	opts := experiments.ArtifactOptions{
-		Spec:       experiments.MatrixSpec{Strategies: strategies},
+		Spec: experiments.MatrixSpec{
+			Strategies:  strategies,
+			Traces:      splitList(*traces, experiments.TraceNames(), "trace", validTrace),
+			Middlewares: splitList(*mws, experiments.AllMiddlewares(), "middleware", validMiddleware),
+			Bots:        splitList(*bots, experiments.BotClasses(), "bot class", validBot),
+		},
 		Ablations:  *ablations,
 		Comparison: *comparison,
+		// The CLI never reads Artifacts.Matrix: every figure/table streams
+		// from the store per cell, which is what keeps paper-scale (`full`)
+		// derivation memory flat.
+		StreamMatrix: true,
 	}
 	opts.Store = campaign.NewResultStore()
 	if *storePath != "" {
@@ -154,6 +179,7 @@ func main() {
 	fmt.Printf("campaign done in %v: %d executed, %d cached, %.0f events/sec (%.0f events/cpu-sec)\n",
 		stats.Elapsed.Round(time.Second), stats.Executed, stats.Cached,
 		stats.EventsPerSecond(), stats.EventsPerCPUSecond())
+	printTraceCacheUsage()
 
 	var summary strings.Builder
 	emit := func(name, text, csv string) {
@@ -286,6 +312,7 @@ func runCrowd(p experiments.Profile, out, storePath string, verbose bool,
 	fmt.Printf("campaign done in %v: %d executed, %d cached, %.0f events/sec (%.0f events/cpu-sec)\n",
 		stats.Elapsed.Round(time.Millisecond), stats.Executed, stats.Cached,
 		stats.EventsPerSecond(), stats.EventsPerCPUSecond())
+	printTraceCacheUsage()
 	if stats.KernelShards > 0 {
 		fmt.Printf("sharded kernel: %d shards, %d barriers, shard events %v, barrier stall %.3fs\n",
 			stats.KernelShards, stats.Barriers, stats.ShardEvents, stats.BarrierStallSec)
@@ -479,6 +506,57 @@ func writeMemProfile(path string) {
 	if err := pprof.WriteHeapProfile(f); err != nil {
 		fmt.Fprintln(os.Stderr, "spequlos-bench:", err)
 	}
+}
+
+// splitList resolves a comma-separated subset flag: "all" keeps the spec's
+// default (nil), anything else is split, trimmed and validated so a typo'd
+// trace name fails up front instead of panicking mid-campaign.
+func splitList(val string, all []string, kind string, valid func(string) bool) []string {
+	if val == "all" || val == "" {
+		return nil
+	}
+	var out []string
+	for _, name := range strings.Split(val, ",") {
+		name = strings.TrimSpace(name)
+		if !valid(name) {
+			fatal(fmt.Errorf("unknown %s %q (known: %s)", kind, name, strings.Join(all, " ")))
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+func validTrace(name string) bool {
+	_, err := experiments.TraceSource(name)
+	return err == nil
+}
+
+func validMiddleware(name string) bool {
+	for _, mw := range experiments.AllMiddlewares() {
+		if mw == name {
+			return true
+		}
+	}
+	return false
+}
+
+func validBot(name string) bool {
+	for _, bc := range experiments.BotClasses() {
+		if bc == name {
+			return true
+		}
+	}
+	return false
+}
+
+// printTraceCacheUsage reports the shared trace cache's accounting after a
+// campaign: resident bytes stay under budget + pinned, the number to read
+// against the `full` CI job's RSS ceiling.
+func printTraceCacheUsage() {
+	u := campaign.TraceCacheStats()
+	fmt.Printf("trace cache: %.1f MiB resident (%d traces) of %.0f MiB budget, %.1f MiB pinned\n",
+		float64(u.ResidentBytes)/(1<<20), u.Entries,
+		float64(u.BudgetBytes)/(1<<20), float64(u.PinnedBytes)/(1<<20))
 }
 
 func fatal(err error) {

@@ -48,6 +48,7 @@ func main() {
 		offset    = flag.Int("offset", 0, "submission offset index (changes the seed)")
 		storePath = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
 		emulate   = flag.Bool("emulate", false, "also run each strategy cell through the deployable HTTP stack and report conformance")
+		budget    = flag.String("trace-budget", "", "trace cache byte budget, e.g. 256MiB (empty = profile default)")
 		verbose   = flag.Bool("v", false, "log per-job progress")
 	)
 	flag.Parse()
@@ -55,6 +56,13 @@ func main() {
 	p, err := experiments.ProfileByName(*profile)
 	if err != nil {
 		fatal(err)
+	}
+	if *budget != "" {
+		n, err := campaign.ParseByteSize(*budget)
+		if err != nil {
+			fatal(err)
+		}
+		p.TraceBudgetBytes = n
 	}
 	sc := experiments.Scenario{
 		Profile: p, Middleware: *mw, TraceName: *tn, BotClass: *bc, Offset: *offset,

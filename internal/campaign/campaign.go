@@ -202,6 +202,9 @@ func New(p Profile, jobs ...Job) *Campaign {
 func (c *Campaign) Run(ctx context.Context, store *ResultStore) (Stats, error) {
 	start := time.Now()
 	cpuStart := ProcessCPUSeconds()
+	if c.Profile.TraceBudgetBytes > 0 {
+		SetTraceBudget(c.Profile.TraceBudgetBytes)
+	}
 	if c.Plan == nil {
 		c.Plan = NewPlan()
 	}

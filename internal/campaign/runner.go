@@ -94,10 +94,14 @@ func executeOnce(j Job, horizon float64) Entry {
 	eng := sim.NewEngine()
 	srv := newServer(eng, sc.Middleware)
 
-	tr, err := CachedTrace(sc, horizon)
+	tr, releaseTrace, err := CachedTrace(sc, horizon)
 	if err != nil {
 		panic(err)
 	}
+	// The pin is held for the whole simulation (the binding reads the trace
+	// on every worker event) and released at job completion, so peak trace
+	// memory tracks the cache budget plus in-flight jobs, not the campaign.
+	defer releaseTrace()
 	middleware.BindTrace(eng, tr, srv)
 
 	botID := sc.BotID()
@@ -216,10 +220,11 @@ func executeMulti(j Job, horizon float64) Entry {
 
 	eng := sim.NewEngine()
 	srv := newServer(eng, sc.Middleware)
-	tr, err := CachedTrace(sc, horizon)
+	tr, releaseTrace, err := CachedTrace(sc, horizon)
 	if err != nil {
 		panic(err)
 	}
+	defer releaseTrace()
 	middleware.BindTrace(eng, tr, srv)
 
 	var svc *core.Service

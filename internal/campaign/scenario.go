@@ -145,6 +145,14 @@ type Profile struct {
 	// knob: any value yields byte-identical results, so it is NOT part of
 	// the job key.
 	KernelShards int `json:",omitempty"`
+	// TraceBudgetBytes bounds the resident bytes of the shared trace cache
+	// while this profile's campaigns run (0 = the process default,
+	// DefaultTraceBudgetBytes). Like KernelShards it is purely an execution
+	// knob — traces regenerate deterministically after eviction, so any
+	// budget yields byte-identical results — and is NOT part of the job
+	// key. The `full` profile sets it so paper-scale campaigns hold peak
+	// trace memory on small machines; -trace-budget overrides it.
+	TraceBudgetBytes int64 `json:",omitempty"`
 }
 
 // Quick returns the bench profile (small BoTs, small pools).
@@ -163,11 +171,18 @@ func Standard() Profile {
 	}
 }
 
-// Full returns the paper-scale profile.
+// Full returns the paper-scale profile: 2 000-node pools over 15-day
+// horizons, the dimensions behind the paper's headline figures. Its traces
+// are tens of MB each and the matrix needs hundreds of distinct ones, so
+// the profile carries a trace-cache byte budget (overridable with
+// -trace-budget): peak trace memory tracks the budget plus in-flight pins
+// instead of the campaign size, which is what makes `full` runnable end to
+// end on a small machine.
 func Full() Profile {
 	return Profile{
 		Name: "full", BotScale: 1, Offsets: 5, PoolCap: 2000,
 		HorizonDays: 15, CreditFraction: 0.10,
+		TraceBudgetBytes: DefaultTraceBudgetBytes,
 	}
 }
 

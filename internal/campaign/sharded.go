@@ -111,10 +111,11 @@ func executeSharded(j Job, horizon float64) Entry {
 
 	kernel := sim.NewSharded(ns)
 	ctl := kernel.Control()
-	tr, err := CachedTrace(sc, horizon)
+	tr, releaseTrace, err := CachedTrace(sc, horizon)
 	if err != nil {
 		panic(err)
 	}
+	defer releaseTrace()
 
 	var svc *core.Service
 	if useService {

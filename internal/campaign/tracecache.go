@@ -1,6 +1,10 @@
 package campaign
 
 import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"spequlos/internal/trace"
@@ -17,6 +21,41 @@ import (
 // Traces are never mutated after generation (the binding and the statistics
 // layer only read them), so sharing a *trace.Trace across concurrent
 // simulations is safe.
+//
+// # Admission, pinning and eviction contract
+//
+// The cache is byte-budgeted: each trace reports its resident size
+// (trace.Trace.Bytes) and eviction is LRU over the *unpinned* entries until
+// resident bytes fall back under the budget. Paper-scale (`full`) traces are
+// tens of MB each and a campaign needs hundreds of distinct ones, so an
+// entry-counted bound cannot hold peak RSS on a small machine; a byte bound
+// with per-job pin/release makes peak trace memory track
+//
+//	budget + bytes pinned by in-flight jobs
+//
+// rather than the campaign size.
+//
+//   - get returns the trace PINNED. The caller must call the returned
+//     release exactly once, when it no longer reads the trace (the runner
+//     releases at job completion). Pinned entries are never evicted, so
+//     eviction can never free a trace a worker still reads.
+//   - An entry being generated is pinned from the moment it is admitted, so
+//     eviction pressure from concurrent admissions cannot drop an in-flight
+//     entry — single-flight holds: exactly one generation per key, whatever
+//     the concurrency.
+//   - When a generation fails, the entry is removed before its ready channel
+//     closes; waiters re-enter get and the first one becomes the new
+//     single-flight generator. A later success is admitted normally. N
+//     waiters therefore cost at most one retry chain, never N concurrent
+//     regenerations.
+//   - Releasing the last pin makes the entry evictable at the
+//     most-recently-used position; if the budget is already exceeded (pins
+//     held it above the line), eviction runs immediately.
+//
+// The budget only bounds cache residency, not correctness: a cache with a
+// 1-byte budget still serves every request, it just regenerates (and
+// regeneration is deterministic, so evicted-then-requested traces come back
+// byte-identical).
 
 // traceKey identifies one deterministic generation.
 type traceKey struct {
@@ -27,88 +66,231 @@ type traceKey struct {
 }
 
 // traceCacheEntry carries a generation-in-progress or its result; ready is
-// closed once tr is set, so concurrent requests for the same trace wait for
-// one generation instead of duplicating it.
+// closed once tr (or err, for a failed generation) is set, so concurrent
+// requests for the same trace wait for one generation instead of
+// duplicating it.
 type traceCacheEntry struct {
+	key   traceKey
 	ready chan struct{}
 	tr    *trace.Trace
+	err   error
+	bytes int64
+	// pins counts active users (including an in-flight generation). Only
+	// entries with pins == 0 sit in the LRU list and may be evicted.
+	pins int
+	elem *list.Element // LRU position; nil while pinned or in flight
 }
 
-// traceCache is a bounded, concurrency-safe, single-flight trace cache.
+// traceCache is a byte-budgeted, concurrency-safe, single-flight trace
+// cache with refcount pinning; see the package comment above for the
+// admission/eviction contract.
 type traceCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[traceKey]*traceCacheEntry
-	order   []traceKey // FIFO eviction order
+	mu       sync.Mutex
+	budget   int64
+	resident int64 // bytes of every completed entry still in the map
+	entries  map[traceKey]*traceCacheEntry
+	lru      *list.List // unpinned completed entries, front = most recent
 }
 
-// defaultTraceCacheSize bounds resident traces. The quick matrix needs 72
-// distinct traces (2 middleware × 6 traces × 3 bots × 2 offsets) of ~250
-// nodes; paper-scale traces are larger, so the bound keeps the cache within
-// a few hundred MB in the worst case while still absorbing the ~19×
-// per-cell reuse (jobs of one cell are planned adjacently).
-const defaultTraceCacheSize = 96
+// DefaultTraceBudgetBytes bounds resident trace bytes in the shared cache
+// (512 MiB). The quick matrix needs 72 distinct ~250-node traces of a few
+// MB each, and the crowd profiles reuse a handful of 500-node traces, so
+// neither ever reaches the line — their behavior is unchanged from the old
+// entry-counted cache. Paper-scale (`full`) traces are tens of MB each and
+// DO exceed it; they evict LRU and regenerate deterministically on re-use.
+const DefaultTraceBudgetBytes = 512 << 20
 
 // sharedTraceCache serves every campaign in the process.
-var sharedTraceCache = newTraceCache(defaultTraceCacheSize)
+var sharedTraceCache = newTraceCache(DefaultTraceBudgetBytes)
 
-func newTraceCache(max int) *traceCache {
-	return &traceCache{max: max, entries: map[traceKey]*traceCacheEntry{}}
+func newTraceCache(budget int64) *traceCache {
+	return &traceCache{budget: budget, entries: map[traceKey]*traceCacheEntry{}, lru: list.New()}
 }
 
-// get returns the cached trace for the scenario, generating it (once,
-// whatever the concurrency) on a miss.
-func (c *traceCache) get(sc Scenario, horizon float64) (*trace.Trace, error) {
-	key := traceKey{name: sc.TraceName, seed: sc.Seed(), horizon: horizon, pool: sc.Profile.PoolCap}
-
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &traceCacheEntry{ready: make(chan struct{})}
-		c.entries[key] = e
-		c.order = append(c.order, key)
-		if len(c.order) > c.max {
-			oldest := c.order[0]
-			c.order = c.order[1:]
-			delete(c.entries, oldest)
+// get returns the cached trace for the key pinned, generating it (once,
+// whatever the concurrency) on a miss. The caller owns one pin and must
+// call release exactly once when done reading the trace.
+func (c *traceCache) get(key traceKey, gen func() (*trace.Trace, error)) (tr *trace.Trace, release func(), err error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			// Pin before waiting: a pinned entry cannot be evicted, so the
+			// single-flight result survives any concurrent admission pressure.
+			e.pins++
+			c.unlinkLocked(e)
+			c.mu.Unlock()
+			<-e.ready
+			if e.err != nil {
+				// The generation this entry tracked failed; the entry was
+				// detached from the map before ready closed. Drop our pin on
+				// the dead entry and re-enter the single-flight path: the
+				// first waiter back becomes the new (sole) generator, and its
+				// success is admitted to the cache for everyone else.
+				c.mu.Lock()
+				e.pins--
+				c.mu.Unlock()
+				continue
+			}
+			return e.tr, c.releaseFunc(e), nil
 		}
+		e := &traceCacheEntry{key: key, ready: make(chan struct{}), pins: 1}
+		c.entries[key] = e
 		c.mu.Unlock()
 
-		tr, err := sc.GenerateTrace(horizon)
+		tr, err := gen()
+		c.mu.Lock()
 		if err != nil {
-			// Drop the entry so a later request does not wait forever on a
-			// generation that never happened; then fail this caller.
-			c.mu.Lock()
-			if cur, still := c.entries[key]; still && cur == e {
-				delete(c.entries, key)
-				for i, k := range c.order {
-					if k == key {
-						c.order = append(c.order[:i], c.order[i+1:]...)
-						break
-					}
-				}
-			}
+			// Detach before closing ready so waiters re-enter get instead of
+			// finding a poisoned entry; the in-flight entry was pinned and
+			// never resident, so there is no accounting to unwind.
+			e.err = err
+			delete(c.entries, key)
 			c.mu.Unlock()
 			close(e.ready)
-			return nil, err
+			return nil, func() {}, err
 		}
 		e.tr = tr
+		e.bytes = tr.Bytes()
+		c.resident += e.bytes
+		c.evictLocked()
+		c.mu.Unlock()
 		close(e.ready)
-		return tr, nil
+		return tr, c.releaseFunc(e), nil
 	}
-	c.mu.Unlock()
+}
 
-	<-e.ready
-	if e.tr == nil {
-		// The generation this entry tracked failed; regenerate directly.
-		return sc.GenerateTrace(horizon)
+// releaseFunc returns the one-shot pin release for an entry. The sync.Once
+// makes a double release (a paranoid defer plus an explicit call) harmless
+// instead of corrupting the pin count.
+func (c *traceCache) releaseFunc(e *traceCacheEntry) func() {
+	var once sync.Once
+	return func() { once.Do(func() { c.release(e) }) }
+}
+
+// release drops one pin; the last pin makes the entry evictable (MRU
+// position) and triggers eviction if pins were holding residency above the
+// budget.
+func (c *traceCache) release(e *traceCacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.pins--
+	if e.pins > 0 {
+		return
 	}
-	return e.tr, nil
+	if cur, ok := c.entries[e.key]; !ok || cur != e {
+		return // detached (failed generation) — never became resident
+	}
+	e.elem = c.lru.PushFront(e)
+	c.evictLocked()
+}
+
+// unlinkLocked removes an entry from the LRU list while it is pinned.
+func (c *traceCache) unlinkLocked(e *traceCacheEntry) {
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+		e.elem = nil
+	}
+}
+
+// evictLocked drops least-recently-used unpinned entries until resident
+// bytes fit the budget. Pinned and in-flight entries are not in the LRU
+// list, so residency may legitimately exceed the budget by the pinned
+// bytes — that is the "budget + pinned" bound the runner's peak RSS tracks.
+func (c *traceCache) evictLocked() {
+	for c.resident > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			return // everything left is pinned or in flight
+		}
+		e := back.Value.(*traceCacheEntry)
+		c.lru.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.resident -= e.bytes
+	}
+}
+
+// setBudget replaces the byte budget (n <= 0 restores the default) and
+// applies it immediately.
+func (c *traceCache) setBudget(n int64) {
+	if n <= 0 {
+		n = DefaultTraceBudgetBytes
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = n
+	c.evictLocked()
+}
+
+// usage reports the cache's current accounting under the lock.
+func (c *traceCache) usage() TraceCacheUsage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := TraceCacheUsage{BudgetBytes: c.budget, ResidentBytes: c.resident, Entries: len(c.entries)}
+	for _, e := range c.entries {
+		if e.pins > 0 && e.tr != nil {
+			u.PinnedBytes += e.bytes
+		}
+	}
+	return u
+}
+
+// TraceCacheUsage is a snapshot of the shared trace cache's accounting:
+// resident bytes never exceed BudgetBytes + PinnedBytes, the invariant the
+// byte-budget property test pins.
+type TraceCacheUsage struct {
+	BudgetBytes   int64
+	ResidentBytes int64
+	PinnedBytes   int64
+	Entries       int
+}
+
+// SetTraceBudget sets the shared trace cache's byte budget (n <= 0 restores
+// DefaultTraceBudgetBytes). Campaigns whose Profile.TraceBudgetBytes is set
+// apply it automatically; the CLIs expose it as -trace-budget.
+func SetTraceBudget(n int64) { sharedTraceCache.setBudget(n) }
+
+// TraceCacheStats returns the shared trace cache's current usage, the
+// number the `full` CI job checks its RSS ceiling against.
+func TraceCacheStats() TraceCacheUsage { return sharedTraceCache.usage() }
+
+// ParseByteSize parses a human-friendly byte size — "512MiB", "1.5GB",
+// "268435456" — into bytes. Decimal (KB/MB/GB) and binary (KiB/MiB/GiB)
+// suffixes are accepted case-insensitively; a bare number is bytes. Both
+// CLIs use it for -trace-budget.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(t)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1000}, {"MB", 1000 * 1000}, {"GB", 1000 * 1000 * 1000},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mult
+			t = strings.TrimSpace(t[:len(t)-len(suf.name)])
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("campaign: invalid byte size %q", s)
+	}
+	return int64(v * float64(mult)), nil
 }
 
 // CachedTrace returns the scenario's availability trace through the shared
-// process-wide cache. The returned trace is shared and must be treated as
-// immutable.
-func CachedTrace(sc Scenario, horizon float64) (*trace.Trace, error) {
-	return sharedTraceCache.get(sc, horizon)
+// process-wide cache, pinned: the returned trace is shared, must be treated
+// as immutable, and release must be called exactly once when the caller no
+// longer reads it — the runner releases at job completion so peak trace
+// memory tracks the byte budget, not the campaign size.
+func CachedTrace(sc Scenario, horizon float64) (tr *trace.Trace, release func(), err error) {
+	key := traceKey{name: sc.TraceName, seed: sc.Seed(), horizon: horizon, pool: sc.Profile.PoolCap}
+	return sharedTraceCache.get(key, func() (*trace.Trace, error) {
+		return sc.GenerateTrace(horizon)
+	})
 }

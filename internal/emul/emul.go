@@ -133,10 +133,11 @@ func runOnce(sc campaign.Scenario, horizon float64) (Outcome, error) {
 	if err != nil {
 		return o, err
 	}
-	tr, err := campaign.CachedTrace(sc, horizon)
+	tr, releaseTrace, err := campaign.CachedTrace(sc, horizon)
 	if err != nil {
 		return o, err
 	}
+	defer releaseTrace()
 	middleware.BindTrace(eng, tr, primary)
 	nb := sc.SubBatches()
 	o.BatchID = sc.BotID()

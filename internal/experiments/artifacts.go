@@ -30,6 +30,12 @@ type ArtifactOptions struct {
 	Table5Days float64
 	Table5BoTs int
 	Table5Seed uint64
+	// StreamMatrix skips materializing Artifacts.Matrix: the store is
+	// validated per cell (ValidateSpec) and every figure/table streams
+	// straight from it, so derivation memory does not grow with the matrix.
+	// Paper-scale (`full`) campaigns and the bench CLI set it; the default
+	// keeps Artifacts.Matrix populated for consumers that read it.
+	StreamMatrix bool
 	// Store, when non-nil, is reused across runs: entries already present
 	// are not re-simulated (resume).
 	Store *campaign.ResultStore
@@ -145,7 +151,14 @@ func DeriveArtifacts(store *campaign.ResultStore, p Profile, opts ArtifactOption
 		return nil
 	}
 
+	// The matrix step is the completeness gate either way: streaming
+	// derivations validate the store per cell without retaining the pairs,
+	// the default additionally materializes the Matrix view for consumers
+	// (the golden tests pin its JSON).
 	if err := timed("matrix", func() (err error) {
+		if opts.StreamMatrix {
+			return ValidateSpec(store, p, opts.Spec)
+		}
 		a.Matrix, err = MatrixFrom(store, p, opts.Spec)
 		return
 	}); err != nil {
@@ -158,14 +171,14 @@ func DeriveArtifacts(store *campaign.ResultStore, p Profile, opts ArtifactOption
 	}
 	steps := []step{
 		{"figure1", func() (err error) { a.Figure1, err = Figure1From(store, p); return }},
-		{"figure2", func() error { a.Figure2 = BuildFigure2(a.Matrix.BaseResults()); return nil }},
-		{"table1", func() error { a.Table1 = BuildTable1(a.Matrix.BaseResults()); return nil }},
+		{"figure2", func() (err error) { a.Figure2, err = Figure2From(store, p, opts.Spec); return }},
+		{"table1", func() (err error) { a.Table1, err = Table1From(store, p, opts.Spec); return }},
 		{"table2", func() error { a.Table2 = BuildTable2(opts.Table2Days, opts.Table2Seed); return nil }},
-		{"figure4", func() error { a.Figure4 = BuildFigure4(a.Matrix); return nil }},
-		{"figure5", func() error { a.Figure5 = BuildFigure5(a.Matrix); return nil }},
-		{"figure6", func() error { a.Figure6 = BuildFigure6(a.Matrix, defaultLabel); return nil }},
-		{"figure7", func() error { a.Figure7 = BuildFigure7(a.Matrix, defaultLabel); return nil }},
-		{"table4", func() error { a.Table4 = BuildTable4(a.Matrix, defaultLabel); return nil }},
+		{"figure4", func() (err error) { a.Figure4, err = Figure4From(store, p, opts.Spec); return }},
+		{"figure5", func() (err error) { a.Figure5, err = Figure5From(store, p, opts.Spec); return }},
+		{"figure6", func() (err error) { a.Figure6, err = Figure6From(store, p, opts.Spec, defaultLabel); return }},
+		{"figure7", func() (err error) { a.Figure7, err = Figure7From(store, p, opts.Spec, defaultLabel); return }},
+		{"table4", func() (err error) { a.Table4, err = Table4From(store, p, opts.Spec, defaultLabel); return }},
 		{"table5", func() error {
 			a.Table5 = BuildTable5(opts.Table5Days, opts.Table5BoTs, opts.Table5Seed)
 			return nil

@@ -76,19 +76,48 @@ type Figure2 struct {
 	Slowdowns map[string][]float64 // by middleware, sorted
 }
 
-// BuildFigure2 derives Fig 2 from baseline results.
-func BuildFigure2(results []Result) Figure2 {
+// resultPairs adapts a result slice to a pairSource of base-only pairs, so
+// the slice-fed Build* builders share the streaming accumulators.
+func resultPairs(results []Result) pairSource {
+	return func(fn func(Pair) error) error {
+		for _, r := range results {
+			if err := fn(Pair{Base: r}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// buildFigure2 accumulates Fig 2 one pair at a time.
+func buildFigure2(src pairSource) (Figure2, error) {
 	f := Figure2{Slowdowns: map[string][]float64{}}
-	for _, r := range results {
+	err := src(func(pair Pair) error {
+		r := pair.Base
 		if !r.Completed || r.Strategy != "" {
-			continue
+			return nil
 		}
 		f.Slowdowns[r.Middleware] = append(f.Slowdowns[r.Middleware], r.Tail.Slowdown)
+		return nil
+	})
+	if err != nil {
+		return Figure2{}, err
 	}
 	for mw := range f.Slowdowns {
 		sort.Float64s(f.Slowdowns[mw])
 	}
+	return f, nil
+}
+
+// BuildFigure2 derives Fig 2 from baseline results.
+func BuildFigure2(results []Result) Figure2 {
+	f, _ := buildFigure2(resultPairs(results))
 	return f
+}
+
+// Figure2From streams Fig 2 straight from the store, one cell at a time.
+func Figure2From(store *campaign.ResultStore, p Profile, spec MatrixSpec) (Figure2, error) {
+	return buildFigure2(storePairs(store, p, spec))
 }
 
 // FractionBelow returns P(slowdown < s) for a middleware.
@@ -133,12 +162,13 @@ type table1Cell struct {
 	N        int
 }
 
-// BuildTable1 aggregates baseline results by BE-DCI class.
-func BuildTable1(results []Result) Table1 {
+// buildTable1 accumulates Table 1 one pair at a time.
+func buildTable1(src pairSource) (Table1, error) {
 	sums := map[trace.Class]map[string]*table1Cell{}
-	for _, r := range results {
+	err := src(func(pair Pair) error {
+		r := pair.Base
 		if !r.Completed || r.Strategy != "" {
-			continue
+			return nil
 		}
 		cls := trace.ClassOf(r.TraceName)
 		if sums[cls] == nil {
@@ -152,6 +182,10 @@ func BuildTable1(results []Result) Table1 {
 		c.TaskFrac += r.Tail.TailTaskFraction
 		c.TimeFrac += r.Tail.TailTimeFraction
 		c.N++
+		return nil
+	})
+	if err != nil {
+		return Table1{}, err
 	}
 	out := Table1{Rows: map[trace.Class]map[string]table1Cell{}}
 	for cls, byMW := range sums {
@@ -164,7 +198,18 @@ func BuildTable1(results []Result) Table1 {
 			}
 		}
 	}
-	return out
+	return out, nil
+}
+
+// BuildTable1 aggregates baseline results by BE-DCI class.
+func BuildTable1(results []Result) Table1 {
+	t, _ := buildTable1(resultPairs(results))
+	return t
+}
+
+// Table1From streams Table 1 straight from the store, one cell at a time.
+func Table1From(store *campaign.ResultStore, p Profile, spec MatrixSpec) (Table1, error) {
+	return buildTable1(storePairs(store, p, spec))
 }
 
 // Render prints the Table 1 layout.
@@ -264,12 +309,12 @@ type Figure4 struct {
 	TRE map[string][]float64
 }
 
-// BuildFigure4 computes paired TREs for every strategy in the matrix.
-func BuildFigure4(m Matrix) Figure4 {
+// buildFigure4 accumulates paired TREs one pair at a time.
+func buildFigure4(src pairSource) (Figure4, error) {
 	f := Figure4{TRE: map[string][]float64{}}
-	for _, pair := range m.Pairs {
+	err := src(func(pair Pair) error {
 		if !pair.Base.Completed {
-			continue
+			return nil
 		}
 		base := pair.Base
 		for label, speq := range pair.Speq {
@@ -283,11 +328,26 @@ func BuildFigure4(m Matrix) Figure4 {
 			}
 			f.TRE[label] = append(f.TRE[label], tre)
 		}
+		return nil
+	})
+	if err != nil {
+		return Figure4{}, err
 	}
 	for label := range f.TRE {
 		sort.Float64s(f.TRE[label])
 	}
+	return f, nil
+}
+
+// BuildFigure4 computes paired TREs for every strategy in the matrix.
+func BuildFigure4(m Matrix) Figure4 {
+	f, _ := buildFigure4(m.each)
 	return f
+}
+
+// Figure4From streams Fig 4 straight from the store, one cell at a time.
+func Figure4From(store *campaign.ResultStore, p Profile, spec MatrixSpec) (Figure4, error) {
+	return buildFigure4(storePairs(store, p, spec))
 }
 
 // FractionAbove returns P(TRE > p) for a strategy label.
@@ -349,11 +409,11 @@ type Figure5 struct {
 	N             map[string]int
 }
 
-// BuildFigure5 aggregates credit use from the matrix.
-func BuildFigure5(m Matrix) Figure5 {
+// buildFigure5 accumulates credit use one pair at a time.
+func buildFigure5(src pairSource) (Figure5, error) {
 	f := Figure5{SpentFraction: map[string]float64{}, N: map[string]int{}}
 	sums := map[string]float64{}
-	for _, pair := range m.Pairs {
+	err := src(func(pair Pair) error {
 		for label, speq := range pair.Speq {
 			if !speq.Completed || speq.CreditsAllocated <= 0 {
 				continue
@@ -361,11 +421,26 @@ func BuildFigure5(m Matrix) Figure5 {
 			sums[label] += speq.CreditsBilled / speq.CreditsAllocated
 			f.N[label]++
 		}
+		return nil
+	})
+	if err != nil {
+		return Figure5{}, err
 	}
 	for label, s := range sums {
 		f.SpentFraction[label] = s / float64(f.N[label])
 	}
+	return f, nil
+}
+
+// BuildFigure5 aggregates credit use from the matrix.
+func BuildFigure5(m Matrix) Figure5 {
+	f, _ := buildFigure5(m.each)
 	return f
+}
+
+// Figure5From streams Fig 5 straight from the store, one cell at a time.
+func Figure5From(store *campaign.ResultStore, p Profile, spec MatrixSpec) (Figure5, error) {
+	return buildFigure5(storePairs(store, p, spec))
 }
 
 // Render prints consumption per combination.
@@ -401,17 +476,17 @@ type Figure6 struct {
 	Cells    map[string]map[string]map[string]Figure6Cell // mw → bot → trace
 }
 
-// BuildFigure6 aggregates paired completion times for one strategy.
-func BuildFigure6(m Matrix, label string) Figure6 {
+// buildFigure6 accumulates paired completion times one pair at a time.
+func buildFigure6(src pairSource, label string) (Figure6, error) {
 	type acc struct {
 		base, speq float64
 		n          int
 	}
 	sums := map[string]map[string]map[string]*acc{}
-	for _, pair := range m.Pairs {
+	err := src(func(pair Pair) error {
 		speq, ok := pair.Speq[label]
 		if !ok || !speq.Completed || !pair.Base.Completed {
-			continue
+			return nil
 		}
 		mw, bc, tn := pair.Base.Middleware, pair.Base.BotClass, pair.Base.TraceName
 		if sums[mw] == nil {
@@ -428,6 +503,10 @@ func BuildFigure6(m Matrix, label string) Figure6 {
 		a.base += pair.Base.CompletionTime
 		a.speq += speq.CompletionTime
 		a.n++
+		return nil
+	})
+	if err != nil {
+		return Figure6{}, err
 	}
 	out := Figure6{Strategy: label, Cells: map[string]map[string]map[string]Figure6Cell{}}
 	for mw, byBot := range sums {
@@ -443,7 +522,18 @@ func BuildFigure6(m Matrix, label string) Figure6 {
 			}
 		}
 	}
-	return out
+	return out, nil
+}
+
+// BuildFigure6 aggregates paired completion times for one strategy.
+func BuildFigure6(m Matrix, label string) Figure6 {
+	f, _ := buildFigure6(m.each, label)
+	return f
+}
+
+// Figure6From streams Fig 6 straight from the store, one cell at a time.
+func Figure6From(store *campaign.ResultStore, p Profile, spec MatrixSpec, label string) (Figure6, error) {
+	return buildFigure6(storePairs(store, p, spec), label)
 }
 
 // Render prints the six panels (a–f).
@@ -493,19 +583,29 @@ type Figure7 struct {
 	StdSpeq   map[string]float64
 }
 
-// BuildFigure7 normalizes each completion time by the average of its
+// buildFigure7 normalizes each completion time by the average of its
 // environment (trace × middleware × BoT class, per §4.3.2) and histograms
-// the result.
-func BuildFigure7(m Matrix, label string) Figure7 {
-	group := func(pick func(Pair) (Result, bool)) map[string][]float64 {
-		byEnv := map[string][]float64{}
-		for _, pair := range m.Pairs {
-			r, ok := pick(pair)
-			if !ok || !r.Completed {
-				continue
-			}
-			byEnv[r.EnvKey()] = append(byEnv[r.EnvKey()], r.CompletionTime)
+// the result, accumulating the per-environment samples in one streaming
+// pass. Only the per-environment completion times are retained per cell —
+// a few floats — not the pairs themselves.
+func buildFigure7(src pairSource, label string) (Figure7, error) {
+	byEnvBase := map[string][]float64{}
+	byEnvSpeq := map[string][]float64{}
+	err := src(func(pair Pair) error {
+		if pair.Base.Completed {
+			env := pair.Base.EnvKey()
+			byEnvBase[env] = append(byEnvBase[env], pair.Base.CompletionTime)
 		}
+		if r, ok := pair.Speq[label]; ok && r.Completed {
+			env := r.EnvKey()
+			byEnvSpeq[env] = append(byEnvSpeq[env], r.CompletionTime)
+		}
+		return nil
+	})
+	if err != nil {
+		return Figure7{}, err
+	}
+	group := func(byEnv map[string][]float64) map[string][]float64 {
 		byMW := map[string][]float64{}
 		for env, times := range byEnv {
 			mw := strings.SplitN(env, "/", 2)[0]
@@ -513,8 +613,8 @@ func BuildFigure7(m Matrix, label string) Figure7 {
 		}
 		return byMW
 	}
-	base := group(func(p Pair) (Result, bool) { return p.Base, true })
-	speq := group(func(p Pair) (Result, bool) { r, ok := p.Speq[label]; return r, ok })
+	base := group(byEnvBase)
+	speq := group(byEnvSpeq)
 	out := Figure7{
 		Strategy:  label,
 		NoSpeq:    map[string]stats.Histogram{},
@@ -530,7 +630,18 @@ func BuildFigure7(m Matrix, label string) Figure7 {
 		out.Speq[mw] = stats.NewHistogram(xs, 0, 5, 25)
 		out.StdSpeq[mw] = stats.Summarize(xs).Std
 	}
-	return out
+	return out, nil
+}
+
+// BuildFigure7 derives the stability figure from a materialized matrix.
+func BuildFigure7(m Matrix, label string) Figure7 {
+	f, _ := buildFigure7(m.each, label)
+	return f
+}
+
+// Figure7From streams Fig 7 straight from the store, one cell at a time.
+func Figure7From(store *campaign.ResultStore, p Profile, spec MatrixSpec, label string) (Figure7, error) {
+	return buildFigure7(storePairs(store, p, spec), label)
 }
 
 // Render prints the stability summary.
@@ -556,21 +667,27 @@ type Table4 struct {
 	Overall float64
 }
 
-// BuildTable4 fits α per environment over the SpeQuloS runs of one strategy
+// buildTable4 fits α per environment over the SpeQuloS runs of one strategy
 // (perfect-knowledge calibration, as §4.3.3 does) and evaluates the ±20%
-// success rate of predictions made at 50% completion.
-func BuildTable4(m Matrix, label string) Table4 {
+// success rate of predictions made at 50% completion. Calibration needs
+// every run before any prediction is judged, so the source is streamed
+// twice — per-cell both times, never materialized.
+func buildTable4(src pairSource, label string) (Table4, error) {
 	cal := core.NewCalibration()
-	runs := m.StrategyResults(label)
-	for _, r := range runs {
-		if r.Completed && r.TC50Base > 0 {
+	err := src(func(pair Pair) error {
+		if r, ok := pair.Speq[label]; ok && r.Completed && r.TC50Base > 0 {
 			cal.Record(r.EnvKey(), r.TC50Base, r.CompletionTime)
 		}
+		return nil
+	})
+	if err != nil {
+		return Table4{}, err
 	}
 	hit := map[string]map[string][]bool{}
-	for _, r := range runs {
-		if !r.Completed || r.TC50Base <= 0 {
-			continue
+	err = src(func(pair Pair) error {
+		r, okRun := pair.Speq[label]
+		if !okRun || !r.Completed || r.TC50Base <= 0 {
+			return nil
 		}
 		alpha := cal.Alpha(r.EnvKey())
 		ok := metrics.PredictionSuccess(alpha*r.TC50Base, r.CompletionTime, core.PredictionTolerance)
@@ -580,6 +697,10 @@ func BuildTable4(m Matrix, label string) Table4 {
 		key := r.BotClass + "/" + r.Middleware
 		hit[r.TraceName][key] = append(hit[r.TraceName][key], ok)
 		hit[r.TraceName]["Mixed"] = append(hit[r.TraceName]["Mixed"], ok)
+		return nil
+	})
+	if err != nil {
+		return Table4{}, err
 	}
 	out := Table4{Strategy: label, Success: map[string]map[string]float64{}}
 	var allHits, allN int
@@ -602,7 +723,18 @@ func BuildTable4(m Matrix, label string) Table4 {
 	if allN > 0 {
 		out.Overall = float64(allHits) / float64(allN)
 	}
-	return out
+	return out, nil
+}
+
+// BuildTable4 derives the prediction table from a materialized matrix.
+func BuildTable4(m Matrix, label string) Table4 {
+	t, _ := buildTable4(m.each, label)
+	return t
+}
+
+// Table4From streams Table 4 straight from the store, one cell at a time.
+func Table4From(store *campaign.ResultStore, p Profile, spec MatrixSpec, label string) (Table4, error) {
+	return buildTable4(storePairs(store, p, spec), label)
 }
 
 // Render prints the Table 4 layout.

@@ -112,14 +112,32 @@ func RunMatrix(p Profile, spec MatrixSpec) Matrix {
 	return m
 }
 
-// MatrixFrom derives the Matrix view of a spec from an already-executed
-// result store. It fails if the store is missing any cell of the spec.
-func MatrixFrom(store *campaign.ResultStore, p Profile, spec MatrixSpec) (Matrix, error) {
-	m := Matrix{Profile: p, Strategies: spec.labels()}
+// pairSource streams the pairs of a matrix in deterministic cell order —
+// the abstraction the figure/table accumulators consume, implemented both
+// by a materialized Matrix (Matrix.each) and by a store-backed cursor
+// (EachPair), so every builder has a streaming and a materialized entry
+// point with one aggregation implementation.
+type pairSource func(fn func(Pair) error) error
+
+// each streams the materialized pairs.
+func (m Matrix) each(fn func(Pair) error) error {
+	for _, pair := range m.Pairs {
+		if err := fn(pair); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EachPair streams the spec's cells straight from the store in
+// deterministic order, building one Pair at a time — the derivation path
+// for paper-scale campaigns, which never materializes the whole matrix. It
+// fails on the first cell missing from the store.
+func EachPair(store *campaign.ResultStore, p Profile, spec MatrixSpec, fn func(Pair) error) error {
 	for _, sc := range spec.scenarios(p) {
 		base, ok := store.Result(campaign.Job{Scenario: sc})
 		if !ok {
-			return Matrix{}, fmt.Errorf("experiments: store missing baseline %s", campaign.Job{Scenario: sc}.Key())
+			return fmt.Errorf("experiments: store missing baseline %s", campaign.Job{Scenario: sc}.Key())
 		}
 		pair := Pair{Base: base, Speq: map[string]Result{}}
 		for _, st := range spec.Strategies {
@@ -128,11 +146,41 @@ func MatrixFrom(store *campaign.ResultStore, p Profile, spec MatrixSpec) (Matrix
 			scs.Strategy = &st
 			r, ok := store.Result(campaign.Job{Scenario: scs})
 			if !ok {
-				return Matrix{}, fmt.Errorf("experiments: store missing %s", campaign.Job{Scenario: scs}.Key())
+				return fmt.Errorf("experiments: store missing %s", campaign.Job{Scenario: scs}.Key())
 			}
 			pair.Speq[st.Label()] = r
 		}
+		if err := fn(pair); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// storePairs adapts EachPair to a pairSource.
+func storePairs(store *campaign.ResultStore, p Profile, spec MatrixSpec) pairSource {
+	return func(fn func(Pair) error) error { return EachPair(store, p, spec, fn) }
+}
+
+// ValidateSpec checks that the store holds every cell of the spec without
+// materializing anything — the completeness gate the streaming derivation
+// path runs where the materialized path built the Matrix.
+func ValidateSpec(store *campaign.ResultStore, p Profile, spec MatrixSpec) error {
+	return EachPair(store, p, spec, func(Pair) error { return nil })
+}
+
+// MatrixFrom derives the Matrix view of a spec from an already-executed
+// result store. It fails if the store is missing any cell of the spec.
+// Paper-scale consumers should prefer EachPair and the *From streaming
+// builders, which iterate per cell instead of materializing every pair.
+func MatrixFrom(store *campaign.ResultStore, p Profile, spec MatrixSpec) (Matrix, error) {
+	m := Matrix{Profile: p, Strategies: spec.labels()}
+	err := EachPair(store, p, spec, func(pair Pair) error {
 		m.Pairs = append(m.Pairs, pair)
+		return nil
+	})
+	if err != nil {
+		return Matrix{}, err
 	}
 	return m, nil
 }

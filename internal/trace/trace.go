@@ -76,6 +76,25 @@ func (t *Trace) Validate() error {
 	return nil
 }
 
+// Bytes estimates the resident heap size of the trace in bytes: the
+// dominant term is 16 bytes per interval (two float64s), plus fixed
+// per-node and per-trace overheads for the structs, slice headers and
+// pointers that hold them. The estimate is deterministic — a pure function
+// of the trace's shape — so byte-budgeted admission decisions (the campaign
+// trace cache) are reproducible across runs and platforms.
+func (t *Trace) Bytes() int64 {
+	const (
+		intervalBytes = 16 // Interval{Start, End float64}
+		nodeBytes     = 48 // Node struct + slice header + *Node in Trace.Nodes
+		traceBytes    = 64 // Trace struct + Nodes slice header
+	)
+	n := int64(traceBytes) + int64(len(t.Name))
+	for _, node := range t.Nodes {
+		n += nodeBytes + intervalBytes*int64(len(node.Intervals))
+	}
+	return n
+}
+
 // ConcurrencyAt returns the number of nodes available at time t.
 func (t *Trace) ConcurrencyAt(at float64) int {
 	n := 0
