@@ -49,6 +49,7 @@ func main() {
 		storePath = flag.String("store", "", "result store JSON path: load if present, save after the run (resume)")
 		emulate   = flag.Bool("emulate", false, "also run each strategy cell through the deployable HTTP stack and report conformance")
 		budget    = flag.String("trace-budget", "", "trace cache byte budget, e.g. 256MiB (empty = profile default)")
+		shards    = flag.Int("shards", 0, "kernel shard count for sharded-kernel profiles (0 = GOMAXPROCS); execution-only, results are byte-identical at any value")
 		verbose   = flag.Bool("v", false, "log per-job progress")
 	)
 	flag.Parse()
@@ -56,6 +57,9 @@ func main() {
 	p, err := experiments.ProfileByName(*profile)
 	if err != nil {
 		fatal(err)
+	}
+	if *shards > 0 {
+		p.KernelShards = *shards
 	}
 	if *budget != "" {
 		n, err := campaign.ParseByteSize(*budget)
@@ -178,6 +182,7 @@ func main() {
 
 func report(label string, r experiments.Result) {
 	fmt.Printf("[%s] %s/%s/%s seed=%d\n", label, r.Middleware, r.TraceName, r.BotClass, r.Seed)
+	reportKernel(r)
 	if len(r.Batches) > 0 {
 		// A multi-batch cell reports its per-batch spread even when some
 		// batches missed the horizon — the partial view is the point.
@@ -195,6 +200,26 @@ func report(label string, r experiments.Result) {
 		fmt.Printf("  cloud: %d instances, %.0f cpu·s, credits %.1f/%.1f (triggered at %.0fs)\n",
 			r.Instances, r.CloudCPUSeconds, r.CreditsBilled, r.CreditsAllocated, r.TriggeredAt)
 	}
+}
+
+// reportKernel prints the sharded-kernel execution counters of a run that
+// executed multi-core: how the work spread across shards and what barrier
+// synchronization cost. Serial runs print nothing.
+func reportKernel(r experiments.Result) {
+	if r.KernelShards == 0 {
+		return
+	}
+	var min, max uint64
+	for i, n := range r.ShardEvents {
+		if i == 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	fmt.Printf("  kernel: %d shards, %d barriers, shard events %d..%d, barrier stall %.2fs\n",
+		r.KernelShards, r.Barriers, min, max, r.BarrierStallSec)
 }
 
 // reportCrowd summarizes a multi-batch cell: per-batch completion spread

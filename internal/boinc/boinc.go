@@ -76,8 +76,15 @@ type batch struct {
 	completed int
 	assigned  int // workunits ever assigned (monotone)
 	wus       []*workunit
-	done      bool
-	running   int // workunits with at least one live-or-believed replica
+	// byID resolves a workunit by its spec ID: IDs are batch-unique but
+	// not slice indexes once the batch is a partition subset or barrier
+	// rebalances moved workunits in.
+	byID map[int]*workunit
+	done bool
+	// freeQueued counts queued, never-assigned workunits — the ones
+	// TakeQueued may hand to a sibling pool partition.
+	freeQueued int
+	running    int // workunits with at least one live-or-believed replica
 }
 
 type workunit struct {
@@ -99,7 +106,10 @@ type workunit struct {
 	completed bool
 	assigned  bool // ever assigned
 	queued    bool // present in the pending fifo with unsent > 0
-	execs     map[*middleware.Worker]*exec
+	// moved marks a workunit handed to a sibling partition (TakeQueued):
+	// it stays in the slice for fifo lazy removal but no longer counts.
+	moved bool
+	execs map[*middleware.Worker]*exec
 }
 
 // cloudReplicas counts in-flight cloud replicas of the workunit.
@@ -235,7 +245,7 @@ func (s *Server) Submit(b middleware.Batch) {
 	if _, ok := s.batches[b.ID]; ok {
 		panic(fmt.Sprintf("boinc: duplicate batch %q", b.ID))
 	}
-	bt := &batch{spec: b, size: len(b.Tasks)}
+	bt := &batch{spec: b, size: len(b.Tasks), byID: make(map[int]*workunit, len(b.Tasks))}
 	s.batches[b.ID] = bt
 	for _, spec := range b.Tasks {
 		wu := &workunit{
@@ -244,6 +254,7 @@ func (s *Server) Submit(b middleware.Batch) {
 			execs: map[*middleware.Worker]*exec{},
 		}
 		bt.wus = append(bt.wus, wu)
+		bt.byID[spec.ID] = wu
 		s.eng.AfterOp(spec.Arrival, s.opArrive, sim.Payload{A: wu})
 	}
 }
@@ -254,6 +265,7 @@ func (s *Server) arrive(wu *workunit) {
 	wu.batch.arrived++
 	wu.unsent = s.cfg.TargetNResults
 	wu.queued = true
+	wu.batch.freeQueued++
 	s.pending.push(wu)
 	s.dispatch()
 }
@@ -379,7 +391,7 @@ func (s *Server) peekWorkunit(w *middleware.Worker) *workunit {
 		var best *workunit
 		bestDups := 0
 		for _, wu := range bt.wus {
-			if !wu.arrived || wu.completed || !s.eligible(w, wu) {
+			if !wu.arrived || wu.completed || wu.moved || !s.eligible(w, wu) {
 				continue
 			}
 			dups := wu.cloudReplicas()
@@ -411,6 +423,9 @@ func (s *Server) assign(w *middleware.Worker, wu *workunit) {
 		panic("boinc: assigning to busy or detached worker")
 	}
 	st.cur = wu
+	if wu.queued && !wu.assigned {
+		wu.batch.freeQueued--
+	}
 	if wu.unsent > 0 && wu.queued {
 		wu.unsent--
 		if wu.unsent == 0 {
@@ -483,6 +498,9 @@ func (s *Server) deadline(wu *workunit, ex *exec) {
 // aborted and their live workers freed (server-side cancel; see DESIGN.md).
 // by is the worker whose result closed the quorum (nil for external merge).
 func (s *Server) completeWU(wu *workunit, by *middleware.Worker) {
+	if wu.queued && !wu.assigned {
+		wu.batch.freeQueued--
+	}
 	wu.completed = true
 	wu.unsent = 0
 	wu.queued = false
@@ -510,14 +528,16 @@ func (s *Server) completeWU(wu *workunit, by *middleware.Worker) {
 }
 
 // MarkCompleted implements middleware.Server (result merging for Cloud
-// Duplication): an external trusted result satisfies the quorum.
+// Duplication): an external trusted result satisfies the quorum. Workunits
+// are resolved by spec ID, which stays correct when the batch is a
+// partition subset whose IDs are not dense slice indexes.
 func (s *Server) MarkCompleted(batchID string, taskID int) {
 	bt := s.batches[batchID]
-	if bt == nil || taskID < 0 || taskID >= len(bt.wus) {
+	if bt == nil {
 		return
 	}
-	wu := bt.wus[taskID]
-	if wu.completed {
+	wu := bt.byID[taskID]
+	if wu == nil || wu.completed {
 		return
 	}
 	s.completeWU(wu, nil)
@@ -565,7 +585,7 @@ func (s *Server) Incomplete(batchID string) []bot.Task {
 	}
 	var out []bot.Task
 	for _, wu := range bt.wus {
-		if !wu.completed {
+		if !wu.completed && !wu.moved {
 			spec := wu.spec
 			spec.Arrival = 0
 			out = append(out, spec)
@@ -574,7 +594,79 @@ func (s *Server) Incomplete(batchID string) []bot.Task {
 	return out
 }
 
+// IdleWorkers implements middleware.TaskMover.
+func (s *Server) IdleWorkers() int { return s.idle.Len() }
+
+// QueuedFree implements middleware.TaskMover.
+func (s *Server) QueuedFree(batchID string) int {
+	bt := s.batches[batchID]
+	if bt == nil {
+		return 0
+	}
+	return bt.freeQueued
+}
+
+// TakeQueued implements middleware.TaskMover: it extracts up to n queued,
+// never-assigned workunits — no replicas were created, so holders,
+// results and deadlines are all empty and removal is exact — and stops
+// counting them toward the batch. The receiving partition re-creates the
+// full target_nresults replica set on AddTasks.
+func (s *Server) TakeQueued(batchID string, n int) []bot.Task {
+	bt := s.batches[batchID]
+	if bt == nil || n <= 0 {
+		return nil
+	}
+	var out []bot.Task
+	for _, wu := range bt.wus {
+		if len(out) >= n {
+			break
+		}
+		if wu.moved || wu.completed || !wu.arrived || !wu.queued || wu.assigned {
+			continue
+		}
+		wu.moved = true
+		wu.queued = false
+		wu.unsent = 0
+		bt.freeQueued--
+		bt.size--
+		bt.arrived--
+		delete(bt.byID, wu.spec.ID)
+		spec := wu.spec
+		spec.Arrival = 0
+		out = append(out, spec)
+	}
+	return out
+}
+
+// AddTasks implements middleware.TaskMover: the specs join the batch as
+// already-arrived queued workunits with a fresh replica set and dispatch
+// immediately.
+func (s *Server) AddTasks(batchID string, tasks []bot.Task) {
+	bt := s.batches[batchID]
+	if bt == nil || len(tasks) == 0 {
+		return
+	}
+	for _, spec := range tasks {
+		wu := &workunit{
+			batch: bt, spec: spec,
+			holders: map[int]bool{}, returned: map[int]bool{},
+			execs: map[*middleware.Worker]*exec{},
+		}
+		wu.arrived = true
+		wu.unsent = s.cfg.TargetNResults
+		wu.queued = true
+		bt.wus = append(bt.wus, wu)
+		bt.byID[spec.ID] = wu
+		bt.size++
+		bt.arrived++
+		bt.freeQueued++
+		s.pending.push(wu)
+	}
+	s.dispatch()
+}
+
 var _ middleware.Server = (*Server)(nil)
+var _ middleware.TaskMover = (*Server)(nil)
 
 // WorkerBusy implements middleware.Server.
 func (s *Server) WorkerBusy(w *middleware.Worker) bool {

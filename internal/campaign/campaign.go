@@ -56,6 +56,11 @@ func (j Job) Key() string {
 		if p.ShardedKernel {
 			multi += ",skernel"
 		}
+	} else if p.ShardedKernel {
+		// A single-BoT sharded cell partitions the worker pool instead of
+		// the batch set; the partition count shapes the model (task split,
+		// rebalance topology), so it keys alongside the flag.
+		multi = fmt.Sprintf(",skernel,parts%d", shardParts(p))
 	}
 	return fmt.Sprintf("%s@bs%g,pc%d,h%g,cf%g%s|%s|%s|%s|%d|%s|%d",
 		p.Name, p.BotScale, p.PoolCap, p.HorizonDays, p.CreditFraction, multi,

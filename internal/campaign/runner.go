@@ -58,10 +58,13 @@ func Execute(j Job) Entry {
 // than one BoT (Profile.Batches) take the multi-batch path; the classic
 // one-BoT path is kept byte-identical for existing profiles and goldens.
 func executeOnce(j Job, horizon float64) Entry {
-	if j.Scenario.SubBatches() > 1 {
-		if useShardedKernel(j) {
+	if useShardedKernel(j) {
+		if j.Scenario.SubBatches() > 1 {
 			return executeSharded(j, horizon)
 		}
+		return executeShardedSingle(j, horizon)
+	}
+	if j.Scenario.SubBatches() > 1 {
 		return executeMulti(j, horizon)
 	}
 	sc := j.Scenario

@@ -130,16 +130,25 @@ type Profile struct {
 	// the monitor merges per-shard steps deterministically — so it is not
 	// part of the job key.
 	Shards int `json:",omitempty"`
-	// ShardedKernel partitions the cell's MODEL for multi-core execution:
-	// every sub-batch gets its own DG server plus a stable-hashed dedicated
-	// partition of the trace's nodes, so batches interact only through the
-	// shared QoS service, which runs serially at monitor barriers
-	// (sim.Sharded). This changes what is simulated — one server per batch
-	// instead of one shared server — so it IS part of the job key. Cells
-	// whose strategy deploys CloudDuplication, and tiered cells, fall back
-	// to the single-server model (their cross-batch coupling does not fit
-	// the barrier protocol); the fallback is a pure function of the key.
+	// ShardedKernel partitions the cell's MODEL for multi-core execution on
+	// the sim.Sharded kernel. Multi-batch cells give every sub-batch its
+	// own DG server plus a stable-hashed dedicated partition of the trace's
+	// nodes; single-BoT cells split the one batch round-robin across
+	// ShardParts part servers with queued-task hand-off at barriers
+	// (middleware.Partitioned). Cross-batch and cross-part couplings — the
+	// QoS monitor, tier arbitration under FleetCap, CloudDuplication's
+	// result mirror — run on the control engine at tick barriers, fed by
+	// the kernel's barrier exchange, so every strategy family runs sharded
+	// with no serial fallback. This changes what is simulated, so it IS
+	// part of the job key; the kernel shard count is not (byte-identical
+	// results at any value).
 	ShardedKernel bool `json:",omitempty"`
+	// ShardParts is the number of worker-pool partitions a single-BoT
+	// sharded cell splits its batch across (0 = 8, see shardParts). It
+	// shapes the model — the round-robin task split and the barrier
+	// rebalance topology — so it IS part of the job key; ignored by
+	// multi-batch cells, whose partition unit is the sub-batch.
+	ShardParts int `json:",omitempty"`
 	// KernelShards is the number of parallel event heaps the sharded kernel
 	// executes on (0 = GOMAXPROCS, capped at Batches). Purely an execution
 	// knob: any value yields byte-identical results, so it is NOT part of
@@ -177,11 +186,14 @@ func Standard() Profile {
 // the profile carries a trace-cache byte budget (overridable with
 // -trace-budget): peak trace memory tracks the budget plus in-flight pins
 // instead of the campaign size, which is what makes `full` runnable end to
-// end on a small machine.
+// end on a small machine. Since PR 9 its single-BoT cells run on the
+// sharded kernel, the pool split across 8 partitions, so one cell spreads
+// across cores instead of relying on cell-level parallelism alone.
 func Full() Profile {
 	return Profile{
 		Name: "full", BotScale: 1, Offsets: 5, PoolCap: 2000,
 		HorizonDays: 15, CreditFraction: 0.10,
+		ShardedKernel: true, ShardParts: 8,
 		TraceBudgetBytes: DefaultTraceBudgetBytes,
 	}
 }
@@ -224,12 +236,15 @@ func Crowd() Profile {
 // a 120-batch cloud fleet cap — the contended-supply shape the tier model
 // arbitrates. It exists to prove the sharded monitor holds at 10× the
 // crowd profile; spequlos-bench records its trajectory in BENCH_crowd2k.json.
+// Since PR 9 it runs on the sharded kernel: tier arbitration executes as a
+// control-engine reduction over per-shard candidate lists, byte-identical
+// at any shard count.
 func Crowd2K() Profile {
 	return Profile{
 		Name: "crowd2k", BotScale: 0.01, Offsets: 1, PoolCap: 500,
 		HorizonDays: 8, CreditFraction: 0.10,
 		Batches: 2000, SubmitSpread: 24 * 3600,
-		Tiered: true, FleetCap: 120,
+		Tiered: true, FleetCap: 120, ShardedKernel: true,
 	}
 }
 

@@ -6,26 +6,31 @@ import (
 
 	"spequlos/internal/cloud"
 	"spequlos/internal/core"
+	"spequlos/internal/metrics"
 	"spequlos/internal/middleware"
 	"spequlos/internal/sim"
+	"spequlos/internal/xwhep"
 )
 
 // useShardedKernel reports whether a job runs on the multi-core sharded
-// kernel. The sharded model gives every sub-batch its own DG server, so it
-// cannot express cross-batch couplings: CloudDuplication's result mirror
-// and tier arbitration's shared fleet cap both fall back to the
-// single-server model. The answer is a pure function of the job key, so a
-// given cell always runs the same model.
+// kernel. Every strategy family is supported — CloudDuplication's result
+// mirror rides the barrier exchange and tier arbitration runs as a
+// control-engine reduction — so the answer is exactly the profile's
+// ShardedKernel flag: a pure function of the job key, never of the
+// strategy, and with no silent serial fallback for any coupling.
 func useShardedKernel(j Job) bool {
-	sc := j.Scenario
-	if !sc.Profile.ShardedKernel || sc.Profile.Tiered {
-		return false
+	return j.Scenario.Profile.ShardedKernel
+}
+
+// shardParts resolves the worker-pool partition count of a single-BoT
+// sharded cell (Profile.ShardParts, default 8). The partition count is
+// part of the model — it decides the round-robin task split and the
+// rebalance topology — so it feeds the job key.
+func shardParts(p Profile) int {
+	if p.ShardParts > 0 {
+		return p.ShardParts
 	}
-	st := sc.Strategy
-	if j.Config != nil {
-		st = &j.Config.Strategy
-	}
-	return st == nil || st.Deploy != core.CloudDuplication
+	return 8
 }
 
 // kernelShardCount resolves the execution shard count: the profile's
@@ -117,11 +122,34 @@ func executeSharded(j Job, horizon float64) Entry {
 	}
 	defer releaseTrace()
 
+	// mirrorBoxes carries CloudDuplication's primary-side completions from
+	// the shard goroutines into the barrier exchange: one outbox per batch,
+	// created in batch order (the deterministic merge tie-break), written
+	// only by the batch's own shard.
+	mirrorBoxes := make(map[string]*sim.Outbox, nb)
 	var svc *core.Service
 	if useService {
 		simCloud := cloud.NewSimCloud(ctl, cloud.DefaultSimConfig(), sim.NewRNG(seed))
+		if cfg.CloudServerFactory == nil {
+			cfg.CloudServerFactory = func() middleware.Server {
+				return xwhep.New(ctl, xwhep.DefaultConfig())
+			}
+		}
 		if sc.Profile.Shards > 0 && cfg.Shards == 0 {
 			cfg.Shards = sc.Profile.Shards
+		}
+		if sc.Profile.Tiered && cfg.Tiers == nil {
+			cfg.Tiers = core.DefaultTierPolicy()
+			cfg.Tiers.FleetCap = sc.Profile.FleetCap
+		}
+		// The topic handler replays a mirrored completion on the control
+		// engine at its exact virtual time (svc is captured by reference; it
+		// exists before the kernel runs).
+		mirrorTopic := kernel.RegisterTopic(func(m sim.Msg) {
+			svc.DeliverMirror(m.S, int(m.I))
+		})
+		cfg.MirrorPost = func(batchID string, taskID int, at float64) {
+			mirrorBoxes[batchID].Post(sim.Msg{Time: at, Topic: mirrorTopic, I: int32(taskID), S: batchID})
 		}
 		svc = core.NewShardedService(ctl, simCloud, cfg)
 	}
@@ -135,8 +163,10 @@ func executeSharded(j Job, horizon float64) Entry {
 		}
 		id := sc.SubBotID(k)
 		at := sc.SubmitAt(k)
+		tier := sc.SubTier(k)
 		res.Batches[k] = BatchResult{
 			BatchID: id, SubmittedAt: at, Size: workload.Size(), TriggeredAt: -1,
+			Tier: string(tier),
 		}
 		res.Size += workload.Size()
 
@@ -154,9 +184,10 @@ func executeSharded(j Job, horizon float64) Entry {
 		// at the barrier closing that window.
 		shardEng.At(at, func() { srv.Submit(middleware.BatchFromBoT(workload)) })
 		if svc != nil {
+			mirrorBoxes[id] = kernel.NewOutbox()
 			br := &res.Batches[k]
 			ctl.At(at, func() {
-				if err := svc.RegisterQoSShard("user", id, sc.EnvKey(), workload.Size(), srv); err != nil {
+				if err := svc.RegisterQoSShardTier("user", id, sc.EnvKey(), workload.Size(), tier, srv); err != nil {
 					panic(err)
 				}
 				credits := creditFraction * workload.WorkloadCPUHours() * svc.Credits.Rate()
@@ -235,4 +266,154 @@ func executeSharded(j Job, horizon float64) Entry {
 		res.CompletionTime = 0
 	}
 	return Entry{Result: res}
+}
+
+// executeShardedSingle is one bounded-horizon simulation of a single-BoT
+// cell on the sim.Sharded kernel. With only one batch there is nothing to
+// partition per batch, so the model partitions the worker pool instead:
+// the batch splits round-robin across shardParts part servers, each with a
+// stable-hashed slice of the trace's nodes, composed by
+// middleware.Partitioned. Task events replay on the control engine through
+// the barrier exchange and queued work rebalances between partitions at
+// barriers, so the barrier cadence is part of the model: it is pinned to
+// the monitor period (DefaultMonitorPeriod for baselines), a pure function
+// of the job key and never of the shard count. The result keeps the
+// classic single-BoT shape (tail metrics, no Batches array) plus the
+// kernel execution counters.
+func executeShardedSingle(j Job, horizon float64) Entry {
+	sc := j.Scenario
+	seed := sc.Seed()
+	parts := shardParts(sc.Profile)
+	ns := kernelShardCount(sc.Profile, parts)
+	res := Result{
+		Middleware: sc.Middleware, TraceName: sc.TraceName, BotClass: sc.BotClass,
+		Offset: sc.Offset, Seed: seed,
+	}
+
+	var cfg core.Config
+	useService := false
+	creditFraction := sc.Profile.CreditFraction
+	switch {
+	case j.Config != nil:
+		cfg = *j.Config
+		useService = true
+		if j.CreditFraction != nil {
+			creditFraction = *j.CreditFraction
+		}
+		res.Strategy = cfg.Strategy.Label()
+	case sc.Strategy != nil:
+		cfg = core.Config{Strategy: *sc.Strategy, MonitorPeriod: DefaultMonitorPeriod}
+		useService = true
+		res.Strategy = sc.Strategy.Label()
+	}
+
+	kernel := sim.NewSharded(ns)
+	ctl := kernel.Control()
+	tr, releaseTrace, err := CachedTrace(sc, horizon)
+	if err != nil {
+		panic(err)
+	}
+	defer releaseTrace()
+
+	partSrvs := make([]middleware.Server, parts)
+	for p := 0; p < parts; p++ {
+		// Partition p of the pool on shard p%ns: the node split is a pure
+		// function of (node ID, parts) — invariant under the shard count.
+		shardEng := kernel.Shard(p % ns)
+		partSrvs[p] = newServer(shardEng, sc.Middleware)
+		middleware.BindTracePartition(shardEng, tr, partSrvs[p], p, parts)
+	}
+	comp := middleware.NewPartitioned(kernel, partSrvs)
+
+	botID := sc.BotID()
+	workload, err := sc.Workload()
+	if err != nil {
+		panic(err)
+	}
+	res.Size = workload.Size()
+
+	rec := &recorder{batchID: botID}
+	comp.AddListener(rec)
+	cell := &subCell{id: botID, srv: comp}
+	comp.AddListener(cell)
+
+	var svc *core.Service
+	if useService {
+		simCloud := cloud.NewSimCloud(ctl, cloud.DefaultSimConfig(), sim.NewRNG(seed))
+		if cfg.CloudServerFactory == nil {
+			cfg.CloudServerFactory = func() middleware.Server {
+				return xwhep.New(ctl, xwhep.DefaultConfig())
+			}
+		}
+		if sc.Profile.Shards > 0 && cfg.Shards == 0 {
+			cfg.Shards = sc.Profile.Shards
+		}
+		// The composite already replays primary-side completions on the
+		// control engine at their exact virtual times, so the mirror
+		// direction needs no second exchange hop: deliver directly.
+		cfg.MirrorPost = func(batchID string, taskID int, _ float64) {
+			svc.DeliverMirror(batchID, taskID)
+		}
+		svc = core.NewShardedService(ctl, simCloud, cfg)
+		if err := svc.RegisterQoSShard("user", botID, sc.EnvKey(), workload.Size(), comp); err != nil {
+			panic(err)
+		}
+		credits := creditFraction * workload.WorkloadCPUHours() * svc.Credits.Rate()
+		if credits > 0 {
+			svc.Credits.Deposit("user", credits)
+			if err := svc.OrderQoS("user", botID, credits); err != nil {
+				panic(err)
+			}
+			res.CreditsAllocated = credits
+		}
+	}
+
+	comp.Submit(middleware.BatchFromBoT(workload))
+
+	window := DefaultMonitorPeriod
+	if useService {
+		window = cfg.MonitorPeriod
+		if window <= 0 {
+			window = DefaultMonitorPeriod
+		}
+	}
+	kernel.Run(window, func() bool {
+		return ctl.Now() > horizon || cell.done
+	})
+
+	res.Events = kernel.Executed()
+	st := kernel.Stats()
+	res.KernelShards = ns
+	res.Barriers = st.Barriers
+	res.ShardEvents = st.ShardEvents
+	res.BarrierStallSec = st.StallSeconds
+
+	res.Completed = cell.done
+	entry := Entry{}
+	if res.Completed {
+		res.CompletionTime = cell.completedAt
+		if tail, ok := metrics.ComputeTail(rec.completions); ok {
+			res.Tail = tail
+		}
+		if n := len(rec.completions); n >= 2 {
+			series := metrics.CompletionSeries(rec.completions)
+			half := series[(n+1)/2-1].T
+			if half > 0 {
+				res.TC50Base = half / 0.5
+			}
+		}
+		if j.KeepSeries {
+			entry.Series = metrics.CompletionSeries(rec.completions)
+		}
+	}
+	if svc != nil {
+		if u, err := svc.Usage(botID); err == nil {
+			res.CreditsBilled = u.CreditsBilled
+			res.CloudCPUSeconds = u.CPUSeconds
+			res.Instances = u.InstancesStarted
+			res.TriggeredAt = u.TriggeredAt
+		}
+	}
+	entry.Result = res
+	return entry
 }

@@ -107,24 +107,161 @@ func TestShardedKernelStatsRecorded(t *testing.T) {
 	}
 }
 
-// TestUseShardedKernelFallbacks pins the model-routing rule: couplings the
-// barrier protocol cannot express run on the single-server model.
-func TestUseShardedKernelFallbacks(t *testing.T) {
+// TestUseShardedKernelRouting pins the model-routing rule since PR 9:
+// Profile.ShardedKernel routes EVERY strategy family onto the sharded
+// kernel — CloudDuplication rides the barrier exchange, tier arbitration
+// runs as a control-engine reduction, single-BoT cells shard their worker
+// pool — with no silent serial fallback for any coupling; and nothing
+// without the flag ever routes there.
+func TestUseShardedKernelRouting(t *testing.T) {
 	p := miniSharded(2)
 	base := Job{Scenario: Scenario{Profile: p, Middleware: XWHEP, TraceName: "seti", BotClass: "SMALL"}}
 	if !useShardedKernel(base) {
 		t.Fatal("plain sharded-kernel cell should use the sharded kernel")
 	}
 	dup := base
-	st := core.Strategy{Trigger: core.CompletionThreshold{Frac: 0.9}, Sizing: core.Conservative{}, Deploy: core.CloudDuplication}
+	st := core.Strategy{Trigger: core.CompletionThreshold{Frac: 0.5}, Sizing: core.Conservative{}, Deploy: core.CloudDuplication}
 	dup.Scenario.Strategy = &st
-	if useShardedKernel(dup) {
-		t.Fatal("CloudDuplication cell must fall back to the single-server model")
+	if !useShardedKernel(dup) {
+		t.Fatal("CloudDuplication cell must run on the sharded kernel, not fall back")
 	}
 	tiered := base
 	tiered.Scenario.Profile.Tiered = true
-	if useShardedKernel(tiered) {
-		t.Fatal("tiered cell must fall back to the single-server model")
+	if !useShardedKernel(tiered) {
+		t.Fatal("tiered cell must run on the sharded kernel, not fall back")
+	}
+	single := base
+	single.Scenario.Profile.Batches = 0
+	if !useShardedKernel(single) {
+		t.Fatal("single-BoT cell must run on the sharded kernel (intra-batch pool sharding)")
+	}
+	plain := base
+	plain.Scenario.Profile.ShardedKernel = false
+	if useShardedKernel(plain) {
+		t.Fatal("profile without ShardedKernel must not route to the sharded kernel")
+	}
+}
+
+// miniTiered returns a crowd2k-subset cell profile sized for tests: ten
+// batches split 2/3/5 across the enterprise/premium/free tiers, contending
+// for a two-batch cloud fleet cap.
+func miniTiered(kernelShards int) Profile {
+	return Profile{
+		Name: "minicrowd2k", BotScale: 0.01, Offsets: 1, PoolCap: 240,
+		HorizonDays: 10, CreditFraction: 0.10,
+		Batches: 10, SubmitSpread: 1800, Tiered: true, FleetCap: 2,
+		ShardedKernel: true, KernelShards: kernelShards,
+	}
+}
+
+// miniFull samples the full profile's single-BoT sharded shape at test
+// scale: one BoT split round-robin across four worker-pool partitions.
+func miniFull(kernelShards int) Profile {
+	return Profile{
+		Name: "minifull", BotScale: 0.02, Offsets: 1, PoolCap: 240,
+		HorizonDays: 10, CreditFraction: 0.10,
+		ShardedKernel: true, ShardParts: 4, KernelShards: kernelShards,
+	}
+}
+
+// runShardedDeterminism executes the scenario at 1, 2, 4 and 8 kernel
+// shards and fails on any byte difference (execution counters excluded);
+// the 1-shard run is the serial reference, so this doubles as the
+// sharded-vs-serial conformance check for the cell's couplings.
+func runShardedDeterminism(t *testing.T, mk func(shards int) Scenario) Result {
+	t.Helper()
+	ref := Execute(Job{Scenario: mk(1)}).Result
+	if !ref.Completed {
+		t.Fatalf("reference (1-shard) cell did not complete: %+v", ref)
+	}
+	refJSON, err := json.Marshal(normalizeSharded(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got := Execute(Job{Scenario: mk(shards)}).Result
+		gotJSON, err := json.Marshal(normalizeSharded(got))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(refJSON) {
+			t.Fatalf("result diverged at %d shards:\n 1: %s\n%2d: %s",
+				shards, refJSON, shards, gotJSON)
+		}
+	}
+	return ref
+}
+
+// TestShardedCloudDupDeterminism pins the barrier-exchanged result mirror:
+// a CloudDuplication cell is byte-identical at 1/2/4/8 shards, and the
+// mirror actually engaged (cloud instances started).
+func TestShardedCloudDupDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded determinism table is not -short")
+	}
+	st := core.Strategy{Trigger: core.CompletionThreshold{Frac: 0.5}, Sizing: core.Conservative{}, Deploy: core.CloudDuplication}
+	ref := runShardedDeterminism(t, func(shards int) Scenario {
+		return Scenario{
+			Profile: miniSharded(shards), Middleware: XWHEP, TraceName: "seti",
+			BotClass: "SMALL", Strategy: &st,
+		}
+	})
+	if ref.Instances == 0 {
+		t.Fatal("CloudDuplication cell started no cloud instances — the mirror was never exercised")
+	}
+}
+
+// TestShardedTieredDeterminism pins tier arbitration as a control-engine
+// reduction: a contended tiered cell (crowd2k subset) is byte-identical at
+// 1/2/4/8 shards.
+func TestShardedTieredDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded determinism table is not -short")
+	}
+	st := core.DefaultStrategy()
+	ref := runShardedDeterminism(t, func(shards int) Scenario {
+		return Scenario{
+			Profile: miniTiered(shards), Middleware: XWHEP, TraceName: "seti",
+			BotClass: "SMALL", Strategy: &st,
+		}
+	})
+	if ref.Instances == 0 {
+		t.Fatal("tiered cell started no cloud instances — arbitration was never exercised")
+	}
+}
+
+// TestShardedSingleBoTDeterminism pins intra-batch pool sharding: a
+// single-BoT cell partitioned across four part servers is byte-identical
+// at 1/2/4/8 shards (8 caps to the partition count), with and without the
+// QoS service.
+func TestShardedSingleBoTDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded determinism table is not -short")
+	}
+	for _, withStrategy := range []bool{false, true} {
+		name := "baseline"
+		if withStrategy {
+			name = "strategy"
+		}
+		t.Run(name, func(t *testing.T) {
+			ref := runShardedDeterminism(t, func(shards int) Scenario {
+				sc := Scenario{
+					Profile: miniFull(shards), Middleware: XWHEP, TraceName: "seti",
+					BotClass: "SMALL",
+				}
+				if withStrategy {
+					st := core.DefaultStrategy()
+					sc.Strategy = &st
+				}
+				return sc
+			})
+			if len(ref.Batches) != 0 {
+				t.Fatalf("single-BoT cell grew a Batches array: %+v", ref.Batches)
+			}
+			if ref.Tail.Size == 0 && ref.Size > 1 {
+				t.Fatalf("single-BoT cell lost its tail metrics: %+v", ref.Tail)
+			}
+		})
 	}
 }
 
@@ -143,6 +280,32 @@ func TestShardedKernelInJobKey(t *testing.T) {
 	serial.Scenario.Profile.ShardedKernel = false
 	if serial.Key() == j1.Key() {
 		t.Fatal("sharded and single-server models share a job key")
+	}
+
+	// A single-BoT sharded cell keys on its partition count.
+	single := Job{Scenario: Scenario{Profile: miniFull(1), Middleware: XWHEP, TraceName: "seti", BotClass: "SMALL"}}
+	if !strings.Contains(single.Key(), ",skernel,parts4") {
+		t.Fatalf("single-BoT sharded key missing the partition count: %s", single.Key())
+	}
+	single8 := single
+	single8.Scenario.Profile.KernelShards = 8
+	if single.Key() != single8.Key() {
+		t.Fatal("KernelShards leaked into the single-BoT job key")
+	}
+
+	// Model routing is explicitly a pure function of the key: a job runs on
+	// the sharded kernel exactly when its key carries the skernel marker,
+	// for every strategy family — no strategy- or deployment-dependent
+	// fallback can exist without breaking this equivalence.
+	dupSt := core.Strategy{Trigger: core.CompletionThreshold{Frac: 0.5}, Sizing: core.Conservative{}, Deploy: core.CloudDuplication}
+	dup := j1
+	dup.Scenario.Strategy = &dupSt
+	tiered := j1
+	tiered.Scenario.Profile.Tiered = true
+	for _, j := range []Job{j1, j4, serial, single, single8, dup, tiered} {
+		if useShardedKernel(j) != strings.Contains(j.Key(), ",skernel") {
+			t.Fatalf("model routing is not a pure function of the job key: %s", j.Key())
+		}
 	}
 }
 

@@ -75,8 +75,15 @@ type batch struct {
 	completed int
 	assigned  int
 	tasks     []*ctask
-	done      bool
-	running   int
+	// byID resolves a task by its spec ID: IDs are batch-unique but not
+	// slice indexes once the batch is a partition subset or barrier
+	// rebalances moved tasks in.
+	byID map[int]*ctask
+	done bool
+	// freeQueued counts queued, never-assigned tasks — the ones TakeQueued
+	// may hand to a sibling pool partition.
+	freeQueued int
+	running    int
 }
 
 type ctask struct {
@@ -86,6 +93,9 @@ type ctask struct {
 	completed bool
 	assigned  bool
 	queued    bool
+	// moved marks a task handed to a sibling partition (TakeQueued): it
+	// stays in the slice for fifo lazy removal but no longer counts.
+	moved bool
 	// remaining is the work left (seconds at power 1, i.e. instructions):
 	// checkpoints preserve progress across migrations.
 	remaining float64
@@ -185,11 +195,12 @@ func (s *Server) Submit(b middleware.Batch) {
 	if _, ok := s.batches[b.ID]; ok {
 		panic(fmt.Sprintf("condor: duplicate batch %q", b.ID))
 	}
-	bt := &batch{spec: b, size: len(b.Tasks)}
+	bt := &batch{spec: b, size: len(b.Tasks), byID: make(map[int]*ctask, len(b.Tasks))}
 	s.batches[b.ID] = bt
 	for _, spec := range b.Tasks {
 		t := &ctask{batch: bt, spec: spec, remaining: spec.NOps, execs: map[*middleware.Worker]*exec{}}
 		bt.tasks = append(bt.tasks, t)
+		bt.byID[spec.ID] = t
 		s.eng.AfterOp(spec.Arrival, s.opArrive, sim.Payload{A: t})
 	}
 }
@@ -199,6 +210,7 @@ func (s *Server) arrive(t *ctask) {
 	t.arrived = true
 	t.batch.arrived++
 	t.queued = true
+	t.batch.freeQueued++
 	s.queue.push(t)
 	s.dispatch()
 }
@@ -347,6 +359,9 @@ func (s *Server) assign(w *middleware.Worker, t *ctask) {
 		panic("condor: assigning to busy or detached worker")
 	}
 	st.cur = t
+	if t.queued && !t.assigned {
+		t.batch.freeQueued--
+	}
 	if t.queued {
 		t.queued = false
 		t.batch.running++
@@ -379,6 +394,9 @@ func (s *Server) finish(t *ctask, by *middleware.Worker) {
 	if !t.queued && t.assigned {
 		bt.running--
 	}
+	if t.queued && !t.assigned {
+		bt.freeQueued--
+	}
 	t.completed = true
 	t.queued = false
 	t.remaining = 0
@@ -404,14 +422,16 @@ func (s *Server) finish(t *ctask, by *middleware.Worker) {
 	}
 }
 
-// MarkCompleted implements middleware.Server.
+// MarkCompleted implements middleware.Server. Tasks are resolved by spec
+// ID, which stays correct when the batch is a partition subset whose IDs
+// are not dense slice indexes.
 func (s *Server) MarkCompleted(batchID string, taskID int) {
 	bt := s.batches[batchID]
-	if bt == nil || taskID < 0 || taskID >= len(bt.tasks) {
+	if bt == nil {
 		return
 	}
-	t := bt.tasks[taskID]
-	if t.completed {
+	t := bt.byID[taskID]
+	if t == nil || t.completed {
 		return
 	}
 	s.finish(t, nil)
@@ -455,7 +475,7 @@ func (s *Server) Incomplete(batchID string) []bot.Task {
 	}
 	var out []bot.Task
 	for _, t := range bt.tasks {
-		if !t.completed {
+		if !t.completed && !t.moved {
 			spec := t.spec
 			spec.Arrival = 0
 			out = append(out, spec)
@@ -463,6 +483,71 @@ func (s *Server) Incomplete(batchID string) []bot.Task {
 	}
 	return out
 }
+
+// IdleWorkers implements middleware.TaskMover.
+func (s *Server) IdleWorkers() int { return s.idle.Len() }
+
+// QueuedFree implements middleware.TaskMover.
+func (s *Server) QueuedFree(batchID string) int {
+	bt := s.batches[batchID]
+	if bt == nil {
+		return 0
+	}
+	return bt.freeQueued
+}
+
+// TakeQueued implements middleware.TaskMover: it extracts up to n queued,
+// never-assigned jobs — never assigned means no checkpoints exist and
+// remaining still equals the spec's work, so removal is exact — and stops
+// counting them toward the batch.
+func (s *Server) TakeQueued(batchID string, n int) []bot.Task {
+	bt := s.batches[batchID]
+	if bt == nil || n <= 0 {
+		return nil
+	}
+	var out []bot.Task
+	for _, t := range bt.tasks {
+		if len(out) >= n {
+			break
+		}
+		if t.moved || t.completed || !t.arrived || !t.queued || t.assigned {
+			continue
+		}
+		t.moved = true
+		t.queued = false
+		bt.freeQueued--
+		bt.size--
+		bt.arrived--
+		delete(bt.byID, t.spec.ID)
+		spec := t.spec
+		spec.Arrival = 0
+		out = append(out, spec)
+	}
+	return out
+}
+
+// AddTasks implements middleware.TaskMover: the specs join the batch as
+// already-arrived queued jobs and dispatch immediately.
+func (s *Server) AddTasks(batchID string, tasks []bot.Task) {
+	bt := s.batches[batchID]
+	if bt == nil || len(tasks) == 0 {
+		return
+	}
+	for _, spec := range tasks {
+		t := &ctask{batch: bt, spec: spec, remaining: spec.NOps, execs: map[*middleware.Worker]*exec{}}
+		t.arrived = true
+		t.queued = true
+		bt.tasks = append(bt.tasks, t)
+		bt.byID[spec.ID] = t
+		bt.size++
+		bt.arrived++
+		bt.freeQueued++
+		s.queue.push(t)
+	}
+	s.dispatch()
+}
+
+var _ middleware.TaskMover = (*Server)(nil)
 
 // WorkerBusy implements middleware.Server.
 func (s *Server) WorkerBusy(w *middleware.Worker) bool {

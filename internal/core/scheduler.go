@@ -32,6 +32,15 @@ type Config struct {
 	// admits every triggered batch immediately — the untiered single-tenant
 	// behavior.
 	Tiers *TierPolicy
+	// MirrorPost routes a primary-side CloudDuplication completion into the
+	// kernel's barrier-exchange stream instead of touching the cloud server
+	// directly. Required (and only used) by a sharded service running the
+	// CloudDuplication deployment: the primary servers live on shard
+	// engines, so their listeners fire during parallel windows and must not
+	// mutate the control-hosted cloud server. The campaign layer wires it to
+	// a per-batch sim.Outbox whose topic handler calls DeliverMirror at the
+	// next barrier.
+	MirrorPost func(batchID string, taskID int, at float64)
 }
 
 // DefaultConfig returns a config with the paper's defaults (strategy
@@ -92,6 +101,12 @@ type Service struct {
 	// dueScratch backs the per-tick due-batch snapshot, reused so a tick
 	// allocates nothing proportional to the batch count.
 	dueScratch []string
+	// cands collects tier-admission candidates per plan shard: each plan
+	// worker appends only to its own list, and admit reduces the lists in
+	// shard order on the (serial) control side. Only used with Tiers set.
+	cands [][]TierCandidate
+	// candScratch backs admit's per-tick concatenation of cands, reused.
+	candScratch []TierCandidate
 }
 
 // batchPlan is the mutation set one batch's plan step computed and the
@@ -178,19 +193,20 @@ func NewService(eng *sim.Engine, primary middleware.Server, simCloud *cloud.SimC
 }
 
 // NewShardedService wires a SpeQuloS service that spans multiple DG
-// servers: every batch registers with its own server (RegisterQoSShard),
-// typically hosted on a shard engine of a sim.Sharded kernel while the
-// service itself — monitor ticker, cloud, ledger — lives on the control
-// engine. Cross-server effects only happen inside the monitor tick, which
-// the kernel runs serially at barriers.
+// servers: every batch registers with its own server (RegisterQoSShard /
+// RegisterQoSShardTier), typically hosted on a shard engine of a
+// sim.Sharded kernel while the service itself — monitor ticker, cloud,
+// ledger — lives on the control engine. Cross-server effects happen inside
+// the monitor tick, which the kernel runs serially at barriers, or arrive
+// as barrier-exchange messages.
 //
-// The CloudDuplication deployment is not supported in sharded mode: its
-// bidirectional result mirror would couple servers outside the barrier
-// protocol. NewShardedService panics if the strategy requests it.
+// Every deployment is supported. CloudDuplication's cloud-to-primary
+// mirror runs directly (the cloud server lives on the control engine and
+// its completions fire at barriers, when shard clocks are parked); the
+// primary-to-cloud direction fires on shard goroutines during parallel
+// windows, so it must ride the barrier exchange — Config.MirrorPost is
+// required and DeliverMirror replays the messages.
 func NewShardedService(eng *sim.Engine, simCloud *cloud.SimCloud, cfg Config) *Service {
-	if cfg.Strategy.Deploy == CloudDuplication {
-		panic("core: CloudDuplication is not supported by the sharded service")
-	}
 	if cfg.MonitorPeriod <= 0 {
 		cfg.MonitorPeriod = 60
 	}
@@ -267,10 +283,19 @@ func (s *Service) RegisterQoSTier(user, batchID, envKey string, size int, tier T
 // and must not be shared across shard engines; the service attaches its
 // activity listener to it. Only valid on a NewShardedService instance.
 func (s *Service) RegisterQoSShard(user, batchID, envKey string, size int, srv middleware.Server) error {
+	return s.RegisterQoSShardTier(user, batchID, envKey, size, "", srv)
+}
+
+// RegisterQoSShardTier registers a batch of a sharded service under a QoS
+// service class. It is RegisterQoSShard plus the tier argument of
+// RegisterQoSTier: the tier only matters when Config.Tiers is set, and the
+// sharded tick arbitrates admission as a control-engine reduction over the
+// per-shard candidate lists the plan phase produced.
+func (s *Service) RegisterQoSShardTier(user, batchID, envKey string, size int, tier Tier, srv middleware.Server) error {
 	if !s.sharded {
 		return fmt.Errorf("core: RegisterQoSShard requires NewShardedService (batch %q)", batchID)
 	}
-	if err := s.register(user, batchID, envKey, size, "", srv); err != nil {
+	if err := s.register(user, batchID, envKey, size, tier, srv); err != nil {
 		return err
 	}
 	srv.AddListener(serviceListener{s})
@@ -383,6 +408,14 @@ func (s *Service) tick(now float64) {
 	if len(s.dueScratch) == 0 {
 		return
 	}
+	if s.cfg.Tiers != nil {
+		if len(s.cands) != s.shards {
+			s.cands = make([][]TierCandidate, s.shards)
+		}
+		for i := range s.cands {
+			s.cands[i] = s.cands[i][:0]
+		}
+	}
 
 	// One aggregated query when the server supports it; otherwise the plan
 	// steps observe their batch directly — no intermediate map, so the
@@ -442,6 +475,14 @@ func (s *Service) planBatch(qb *qosBatch, progress map[string]middleware.Progres
 	}
 	s.planManage(qb) // Algorithm 2
 	s.planStart(qb)  // Algorithm 1
+	if s.cfg.Tiers != nil && qb.plan.start > 0 {
+		// Per-shard candidate list: this worker is the only writer of its
+		// slot, so the parallel plan phase stays race-free. The inline
+		// (single-shard) path computes the same slot, keeping the reduction
+		// input identical at any shard count.
+		w := int(qb.shardHash) % s.shards
+		s.cands[w] = append(s.cands[w], TierCandidate{BatchID: qb.id, Tier: qb.tier, Since: qb.eligibleSince})
+	}
 }
 
 // observe samples the primary server's view of the batch.
@@ -544,17 +585,21 @@ func (s *Service) planStart(qb *qosBatch) {
 // admit runs tier admission over this tick's would-start batches: denied
 // batches stay armed and retry next tick with a higher wait-boosted score.
 // Without a tier policy every planned start proceeds.
+//
+// Admission is a control-engine reduction over the per-shard candidate
+// lists the plan phase filled: the lists are concatenated in shard order,
+// and TierPolicy.Admit sorts candidates internally by (score, BatchID), so
+// the decisions are independent of the concatenation order — and therefore
+// of both the plan-pool size and the kernel's shard count.
 func (s *Service) admit(now float64) {
 	if s.cfg.Tiers == nil {
 		return
 	}
-	var cands []TierCandidate
-	for _, id := range s.dueScratch {
-		qb := s.batches[id]
-		if !qb.finalized && qb.plan.start > 0 {
-			cands = append(cands, TierCandidate{BatchID: qb.id, Tier: qb.tier, Since: qb.eligibleSince})
-		}
+	s.candScratch = s.candScratch[:0]
+	for _, cs := range s.cands {
+		s.candScratch = append(s.candScratch, cs...)
 	}
+	cands := s.candScratch
 	if len(cands) == 0 {
 		return
 	}
@@ -624,9 +669,32 @@ func (s *Service) startCloudServer(qb *qosBatch) middleware.Server {
 	// Results computed in the cloud complete the primary's tasks; results
 	// arriving on the primary abort the cloud copies.
 	sec.AddListener(mirror{from: sec, to: qb.srv, batchID: qb.id})
-	qb.srv.AddListener(mirror{from: qb.srv, to: sec, batchID: qb.id})
+	if s.sharded {
+		// The primary lives on a shard engine: its completions fire during
+		// parallel windows, so the primary→cloud direction must ride the
+		// barrier exchange instead of touching the control-hosted cloud
+		// server directly. (Cloud→primary above is safe as-is: it fires at
+		// barriers, with every shard clock parked.)
+		if s.cfg.MirrorPost == nil {
+			panic("core: sharded CloudDuplication requires Config.MirrorPost")
+		}
+		qb.srv.AddListener(postMirror{batchID: qb.id, post: s.cfg.MirrorPost})
+	} else {
+		qb.srv.AddListener(mirror{from: qb.srv, to: sec, batchID: qb.id})
+	}
 	qb.cloudSrv = sec
 	return sec
+}
+
+// DeliverMirror completes a task on a batch's CloudDuplication cloud
+// server: the barrier-exchange replay of a primary-side completion posted
+// through Config.MirrorPost. Safe to call for completions that were echoed
+// back (MarkCompleted on a completed task is a no-op) and after the cloud
+// server is gone (the message is then dropped).
+func (s *Service) DeliverMirror(batchID string, taskID int) {
+	if qb, ok := s.batches[batchID]; ok && qb.cloudSrv != nil {
+		qb.cloudSrv.MarkCompleted(batchID, taskID)
+	}
 }
 
 // mirror merges completions between the primary and the cloud server.
@@ -642,6 +710,30 @@ func (m mirror) TaskCompleted(batchID string, taskID int, _ float64) {
 	}
 }
 func (m mirror) BatchCompleted(string, float64) {}
+
+// postMirror is the sharded flavor of the primary→cloud mirror direction:
+// instead of completing the cloud copy inline (a cross-engine mutation
+// from a shard goroutine), it posts the completion through
+// Config.MirrorPost; the kernel replays it at the next barrier via
+// Service.DeliverMirror.
+type postMirror struct {
+	batchID string
+	post    func(batchID string, taskID int, at float64)
+}
+
+// TaskAssigned implements middleware.Listener; assignments are not mirrored.
+func (m postMirror) TaskAssigned(string, int, float64) {}
+
+// TaskCompleted posts the completion into the barrier-exchange stream.
+func (m postMirror) TaskCompleted(batchID string, taskID int, at float64) {
+	if batchID == m.batchID {
+		m.post(batchID, taskID, at)
+	}
+}
+
+// BatchCompleted implements middleware.Listener; completion of the batch
+// itself is observed by the monitor tick, not mirrored.
+func (m postMirror) BatchCompleted(string, float64) {}
 
 // billInstanceFinal settles an instance's outstanding usage before a stop.
 func (s *Service) billInstanceFinal(qb *qosBatch, inst *cloud.Instance) {

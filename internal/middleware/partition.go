@@ -1,0 +1,311 @@
+package middleware
+
+import (
+	"fmt"
+
+	"spequlos/internal/bot"
+	"spequlos/internal/sim"
+)
+
+// Partitioned composes several part servers — one per worker-pool
+// partition, each typically hosted on a shard engine of a sim.Sharded
+// kernel — into one middleware.Server, so a single BoT can run multi-core.
+//
+// Responsibilities are split by execution phase:
+//
+//   - During parallel windows, each part schedules its own sub-batch
+//     against its own slice of the worker pool; a per-part tap records
+//     every task event in the part's barrier-exchange outbox.
+//   - At barriers, the kernel replays the merged event stream on the
+//     control engine: the composite maintains batch-level completion
+//     counters there and fans the events out to its own listeners
+//     (SpeQuloS service, campaign recorder) at their exact virtual times.
+//   - Control-side calls (Progress, Incomplete, MarkCompleted, cloud
+//     WorkerJoin) happen only at barriers, when every shard clock is
+//     parked, so they delegate to the parts directly.
+//   - A barrier reduction hook rebalances queued work: partitions whose
+//     workers idle while holding no free tasks receive never-assigned
+//     queued tasks from partitions that have them (TaskMover hand-off), in
+//     deterministic partition order.
+//
+// Tasks are split round-robin across parts at Submit and cloud workers are
+// routed by worker ID, so the composite's behavior is a pure function of
+// the partition count — never of the kernel's shard count.
+type Partitioned struct {
+	kernel *sim.Sharded
+	parts  []Server
+	movers []TaskMover
+
+	topicAssigned  sim.Topic
+	topicCompleted sim.Topic
+	topicExecuted  sim.Topic
+
+	listeners  Listeners
+	batches    map[string]*partBatch
+	order      []string
+	reschedule bool
+
+	// idleScratch/freeScratch back the rebalance hook's per-barrier
+	// snapshots, reused so a barrier allocates nothing.
+	idleScratch []int
+	freeScratch []int
+}
+
+// partBatch is the composite's control-side view of one batch.
+type partBatch struct {
+	id        string
+	size      int
+	completed int
+	done      bool
+	// owner maps task ID to the part currently holding the task; rebalance
+	// moves update it, MarkCompleted routes through it.
+	owner map[int]int
+}
+
+// NewPartitioned builds a partitioned composite over the given part
+// servers. Every part must implement TaskMover for the barrier rebalance
+// hook (all in-tree middlewares do); the composite registers its exchange
+// topics, one outbox per part (in part order — the deterministic merge
+// tie-break), and the rebalance reduction on the kernel.
+func NewPartitioned(kernel *sim.Sharded, parts []Server) *Partitioned {
+	if len(parts) == 0 {
+		panic("middleware: NewPartitioned needs at least one part server")
+	}
+	p := &Partitioned{
+		kernel:      kernel,
+		parts:       parts,
+		batches:     map[string]*partBatch{},
+		idleScratch: make([]int, len(parts)),
+		freeScratch: make([]int, len(parts)),
+	}
+	for i, part := range parts {
+		m, ok := part.(TaskMover)
+		if !ok {
+			panic(fmt.Sprintf("middleware: partitioned part %d (%s) does not implement TaskMover", i, part.MiddlewareName()))
+		}
+		p.movers = append(p.movers, m)
+	}
+	p.topicAssigned = kernel.RegisterTopic(p.onAssigned)
+	p.topicCompleted = kernel.RegisterTopic(p.onCompleted)
+	p.topicExecuted = kernel.RegisterTopic(p.onExecuted)
+	for i, part := range parts {
+		part.AddListener(&partTap{p: p, ob: kernel.NewOutbox(), part: i})
+	}
+	kernel.OnBarrier(p.rebalance)
+	return p
+}
+
+// partTap records one part's task events into its barrier-exchange outbox.
+// It runs on the part's shard goroutine during windows, so it must only
+// touch the outbox — the composite's state is control-side.
+type partTap struct {
+	p    *Partitioned
+	ob   *sim.Outbox
+	part int
+}
+
+// TaskAssigned implements Listener by posting into the part's outbox.
+func (t *partTap) TaskAssigned(batchID string, taskID int, at float64) {
+	t.ob.Post(sim.Msg{Time: at, Topic: t.p.topicAssigned, I: int32(taskID), S: batchID})
+}
+
+// TaskCompleted implements Listener by posting into the part's outbox.
+func (t *partTap) TaskCompleted(batchID string, taskID int, at float64) {
+	t.ob.Post(sim.Msg{Time: at, Topic: t.p.topicCompleted, I: int32(taskID), S: batchID})
+}
+
+// BatchCompleted implements Listener. Part-level completion means one
+// sub-batch drained; the composite derives whole-batch completion from its
+// own counters, so this is a no-op.
+func (t *partTap) BatchCompleted(string, float64) {}
+
+// TaskExecutedBy implements WorkerObserver by posting into the outbox.
+func (t *partTap) TaskExecutedBy(batchID string, taskID int, w *Worker, at float64) {
+	t.ob.Post(sim.Msg{Time: at, Topic: t.p.topicExecuted, I: int32(taskID), S: batchID, A: w})
+}
+
+// onAssigned replays a part's TaskAssigned event on the control engine.
+func (p *Partitioned) onAssigned(m sim.Msg) {
+	p.listeners.TaskAssigned(m.S, int(m.I), float64(m.Time))
+}
+
+// onCompleted replays a part's TaskCompleted event, maintains the
+// batch-level completion counter, and fires the composite BatchCompleted
+// when the last task of the whole batch completes.
+func (p *Partitioned) onCompleted(m sim.Msg) {
+	p.listeners.TaskCompleted(m.S, int(m.I), float64(m.Time))
+	pb := p.batches[m.S]
+	if pb == nil {
+		return
+	}
+	pb.completed++
+	if pb.completed >= pb.size && !pb.done {
+		pb.done = true
+		p.listeners.BatchCompleted(m.S, float64(m.Time))
+	}
+}
+
+// onExecuted replays a part's TaskExecutedBy observation.
+func (p *Partitioned) onExecuted(m sim.Msg) {
+	w, _ := m.A.(*Worker)
+	p.listeners.NotifyExecutedBy(m.S, int(m.I), w, float64(m.Time))
+}
+
+// rebalance is the composite's barrier reduction: for every live batch it
+// snapshots each part's idle workers and free queued tasks, then moves
+// never-assigned queued tasks from parts that have spares to parts whose
+// workers idle empty-handed. Parts are visited in index order and the
+// hand-off volume is capped by the receiver's idle count, so the reduction
+// is deterministic and cannot ping-pong (a part holding free tasks is a
+// donor, never hungry).
+func (p *Partitioned) rebalance(now sim.Time) {
+	for _, id := range p.order {
+		pb := p.batches[id]
+		if pb.done {
+			continue
+		}
+		idle, free := p.idleScratch, p.freeScratch
+		total := 0
+		for i, m := range p.movers {
+			idle[i] = m.IdleWorkers()
+			free[i] = m.QueuedFree(id)
+			total += free[i]
+		}
+		if total == 0 {
+			continue
+		}
+		for h := range p.parts {
+			if idle[h] == 0 || free[h] > 0 {
+				continue
+			}
+			want := idle[h]
+			for d := range p.parts {
+				if want == 0 {
+					break
+				}
+				if d == h || free[d] == 0 {
+					continue
+				}
+				n := want
+				if n > free[d] {
+					n = free[d]
+				}
+				moved := p.movers[d].TakeQueued(id, n)
+				free[d] -= len(moved)
+				want -= len(moved)
+				for _, spec := range moved {
+					pb.owner[spec.ID] = h
+				}
+				p.movers[h].AddTasks(id, moved)
+			}
+		}
+	}
+}
+
+// partFor routes a dynamically attached (cloud) worker onto a part. Trace
+// node workers never pass through here — the campaign binds each trace
+// partition directly to its part server.
+func (p *Partitioned) partFor(w *Worker) Server {
+	i := w.ID % len(p.parts)
+	if i < 0 {
+		i += len(p.parts)
+	}
+	return p.parts[i]
+}
+
+// MiddlewareName implements Server.
+func (p *Partitioned) MiddlewareName() string { return p.parts[0].MiddlewareName() }
+
+// Submit implements Server: the batch is split round-robin into one
+// sub-batch per part (possibly empty — an empty sub-batch never completes
+// on its own, which is fine because whole-batch completion is derived from
+// the composite's counters).
+func (p *Partitioned) Submit(b Batch) {
+	if _, ok := p.batches[b.ID]; ok {
+		panic(fmt.Sprintf("middleware: duplicate partitioned batch %q", b.ID))
+	}
+	pb := &partBatch{id: b.ID, size: len(b.Tasks), owner: make(map[int]int, len(b.Tasks))}
+	p.batches[b.ID] = pb
+	p.order = append(p.order, b.ID)
+	n := len(p.parts)
+	subs := make([][]bot.Task, n)
+	for i, t := range b.Tasks {
+		w := i % n
+		subs[w] = append(subs[w], t)
+		pb.owner[t.ID] = w
+	}
+	for i, part := range p.parts {
+		part.Submit(Batch{ID: b.ID, WallClockTime: b.WallClockTime, Tasks: subs[i]})
+	}
+}
+
+// WorkerJoin implements Server by routing the worker onto its part.
+func (p *Partitioned) WorkerJoin(w *Worker) { p.partFor(w).WorkerJoin(w) }
+
+// WorkerLeave implements Server by routing the worker onto its part.
+func (p *Partitioned) WorkerLeave(w *Worker) { p.partFor(w).WorkerLeave(w) }
+
+// WorkerBusy implements Server by asking the worker's part.
+func (p *Partitioned) WorkerBusy(w *Worker) bool { return p.partFor(w).WorkerBusy(w) }
+
+// Progress implements Server by aggregating the parts' views. Only called
+// at barriers (monitor tick, campaign sampling), when part state is
+// stable.
+func (p *Partitioned) Progress(batchID string) Progress {
+	var out Progress
+	for _, part := range p.parts {
+		pr := part.Progress(batchID)
+		out.Size += pr.Size
+		out.Arrived += pr.Arrived
+		out.Completed += pr.Completed
+		out.EverAssigned += pr.EverAssigned
+		out.Running += pr.Running
+		out.Queued += pr.Queued
+		out.Workers += pr.Workers
+	}
+	return out
+}
+
+// Done implements Server using the composite's barrier-replayed counter.
+func (p *Partitioned) Done(batchID string) bool {
+	pb := p.batches[batchID]
+	return pb != nil && pb.done
+}
+
+// Incomplete implements Server by concatenating the parts' tails in part
+// order (deterministic at any shard count).
+func (p *Partitioned) Incomplete(batchID string) []bot.Task {
+	var out []bot.Task
+	for _, part := range p.parts {
+		out = append(out, part.Incomplete(batchID)...)
+	}
+	return out
+}
+
+// MarkCompleted implements Server by routing through the owner map, so a
+// task completes on whichever part currently holds it — including after
+// barrier rebalances moved it.
+func (p *Partitioned) MarkCompleted(batchID string, taskID int) {
+	pb := p.batches[batchID]
+	if pb == nil {
+		return
+	}
+	if i, ok := pb.owner[taskID]; ok {
+		p.parts[i].MarkCompleted(batchID, taskID)
+	}
+}
+
+// SetReschedule implements Server by forwarding to every part.
+func (p *Partitioned) SetReschedule(enabled bool) {
+	p.reschedule = enabled
+	for _, part := range p.parts {
+		part.SetReschedule(enabled)
+	}
+}
+
+// AddListener implements Server. Listeners observe the barrier-replayed
+// event stream: exact virtual times, deterministic order, one barrier of
+// latency.
+func (p *Partitioned) AddListener(l Listener) { p.listeners = append(p.listeners, l) }
+
+var _ Server = (*Partitioned)(nil)

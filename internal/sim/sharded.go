@@ -20,6 +20,12 @@ import (
 //     credit billing, aggregated progress polling) live on the control
 //     engine and run serially at each barrier, in deterministic order,
 //     while every shard clock sits exactly on the barrier instant.
+//   - Couplings between shard-hosted entities (CloudDuplication result
+//     mirrors, intra-batch pool partitions) are expressed as barrier
+//     exchange: each partition records effects in its own Outbox during the
+//     window and the kernel replays the merged, deterministically ordered
+//     message stream on the control engine at the barrier, then runs the
+//     registered reduction hooks (RegisterTopic / NewOutbox / OnBarrier).
 //
 // Under that contract the results are byte-identical for ANY shard count,
 // including one: the barrier sequence is derived from the merged
@@ -30,7 +36,17 @@ type Sharded struct {
 	ctl    *Engine
 	shards []*Engine
 
+	// Barrier exchange: per-partition outboxes drained at each barrier,
+	// registered topic handlers replayed on the control engine, and
+	// reduction hooks run once per barrier with every engine parked.
+	topics   []func(Msg)
+	outboxes []*Outbox
+	hooks    []func(now Time)
+	scratch  []Msg
+	opMsg    Op
+
 	barriers uint64
+	messages uint64
 	stall    time.Duration
 	busy     []time.Duration
 }
@@ -45,6 +61,7 @@ func NewSharded(shards int) *Sharded {
 	for i := range s.shards {
 		s.shards[i] = NewEngine()
 	}
+	s.opMsg = s.ctl.RegisterOp(s.dispatchMsg)
 	return s
 }
 
@@ -155,7 +172,14 @@ func (s *Sharded) Run(window float64, stop func() bool) {
 				s.busy[i] = 0
 			}
 		}
+		// Barrier: merge the shards' outboxes onto the control engine,
+		// run the serial control window, then the reduction hooks with
+		// every engine parked exactly on the barrier instant.
+		s.exchange()
 		s.ctl.RunUntil(target)
+		for _, h := range s.hooks {
+			h(target)
+		}
 		s.barriers++
 	}
 }
@@ -171,6 +195,9 @@ type ShardedStats struct {
 	ShardEvents []uint64
 	// ControlEvents is the number of events fired by the control engine.
 	ControlEvents uint64
+	// Messages is the number of barrier-exchange messages merged onto the
+	// control engine (mirror completions, partitioned-pool task events).
+	Messages uint64
 	// StallSeconds is wall-clock executor idle time summed across shards:
 	// time spent parked at barriers while sibling shards finished their
 	// window. Zero when the kernel ran with a single shard.
@@ -181,6 +208,7 @@ type ShardedStats struct {
 func (s *Sharded) Stats() ShardedStats {
 	st := ShardedStats{
 		Barriers:      s.barriers,
+		Messages:      s.messages,
 		ControlEvents: s.ctl.Executed(),
 		ShardEvents:   make([]uint64, len(s.shards)),
 		StallSeconds:  s.stall.Seconds(),
