@@ -1,0 +1,113 @@
+// Command spequlos-load is the socket-level load harness for the SpeQuloS
+// service stack: it boots all four modules behind the tiered auth gateway
+// plus an emul-wire Desktop-Grid gateway on loopback TCP sockets, and
+// drives them with concurrent tiered clients at a configurable request mix
+// while the Scheduler's monitor loop ticks over the same socket.
+//
+//	spequlos-load -profile smoke
+//	spequlos-load -profile stress -bench-json BENCH_load.json -bench-label "PR 10"
+//	spequlos-load -profile smoke -gate BENCH_load.json    # CI regression gate
+//
+// The run reports p50/p95/p99 request latency per class, the
+// unexpected-error rate, per-tier 429 throttling and Scheduler tick
+// overrun. With -bench-json the result extends a BENCH_load.json
+// trajectory; with -gate the process exits non-zero when the run regresses
+// past the committed baseline (any unexpected error, or overall p99 beyond
+// -gate-factor× the baseline with a -gate-floor-ms noise floor).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spequlos/internal/loadgen"
+)
+
+func main() {
+	var (
+		profile   = flag.String("profile", "smoke", "load profile: smoke or stress")
+		clients   = flag.Int("clients", 0, "override: concurrent clients")
+		duration  = flag.Duration("duration", 0, "override: load window")
+		tick      = flag.Duration("tick", 0, "override: scheduler monitor period")
+		batchDur  = flag.Duration("batch-duration", 0, "override: DG batch completion time")
+		maxOrders = flag.Int("max-orders", -1, "override: QoS order cap (0 = unlimited)")
+		rate      = flag.Float64("rate", 0, "override: gateway total request rate (req/s)")
+		pace      = flag.Duration("pace", -1, "override: paid-tier think time between requests")
+		seed      = flag.Int64("seed", 0, "override: request-schedule seed")
+		benchJSON = flag.String("bench-json", "", "write/extend a BENCH_load.json trajectory at this path")
+		benchLbl  = flag.String("bench-label", "", "label recorded with this run's trajectory entry")
+		gate      = flag.String("gate", "", "BENCH_load.json baseline to gate against (CI regression check)")
+		gateFact  = flag.Float64("gate-factor", 5, "with -gate: allowed overall-p99 growth factor over the baseline")
+		gateFloor = flag.Float64("gate-floor-ms", 100, "with -gate: p99 noise floor in ms for shared runners")
+		verbose   = flag.Bool("v", false, "verbose progress to stderr")
+	)
+	flag.Parse()
+
+	var cfg loadgen.Config
+	switch *profile {
+	case "smoke":
+		cfg = loadgen.Smoke()
+	case "stress":
+		cfg = loadgen.Stress()
+	default:
+		fatal(fmt.Errorf("unknown profile %q (want smoke or stress)", *profile))
+	}
+	if *clients > 0 {
+		cfg.Clients = *clients
+	}
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	if *tick > 0 {
+		cfg.TickPeriod = *tick
+	}
+	if *batchDur > 0 {
+		cfg.BatchDuration = *batchDur
+	}
+	if *maxOrders >= 0 {
+		cfg.MaxOrders = *maxOrders
+	}
+	if *rate > 0 {
+		cfg.RatePerSec = *rate
+	}
+	if *pace >= 0 {
+		cfg.Pace = *pace
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Verbose = *verbose
+
+	start := time.Now()
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Summary())
+	fmt.Printf("run wallclock: %.2fs\n", time.Since(start).Seconds())
+
+	if *benchJSON != "" {
+		if err := loadgen.WriteBench(*benchJSON, *benchLbl, rep); err != nil {
+			fatal(fmt.Errorf("bench report: %w", err))
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	if *gate != "" {
+		base, err := loadgen.ReadBaseline(*gate)
+		if err != nil {
+			fatal(fmt.Errorf("gate baseline: %w", err))
+		}
+		if err := rep.Gate(base, *gateFact, *gateFloor); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gate passed: p99 %.2fms vs baseline %.2fms (factor %.1f, floor %.0fms), 0 unexpected errors\n",
+			rep.Overall.P99Ms, base.P99Ms, *gateFact, *gateFloor)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "spequlos-load: %v\n", err)
+	os.Exit(1)
+}

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +54,8 @@ func main() {
 		stateDir = flag.String("state-dir", "", "directory for JSON state snapshots (empty = in-memory only)")
 		tiered   = flag.Bool("tiers", false, "enable the enterprise/premium/free tier admission policy")
 		fleetCap = flag.Int("fleet-cap", 0, "with -tiers: max batches holding cloud support at once (0 = unlimited)")
+		keysFile = flag.String("keys", "", "JSON API-key file ([{key,user,tier,unlimited}...]); enables gateway auth + per-tier rate limits")
+		rate     = flag.Float64("rate", 100, "with -keys: total request rate (req/s) shared across tiers by policy weight")
 	)
 	flag.Parse()
 
@@ -82,7 +85,32 @@ func main() {
 		sched.TierPolicy.FleetCap = *fleetCap
 	}
 
-	mux := service.Mux(info, credit, oracle, sched)
+	var handler http.Handler = service.Mux(info, credit, oracle, sched)
+	if *keysFile != "" {
+		policy := sched.TierPolicy
+		if policy == nil {
+			policy = core.DefaultTierPolicy()
+		}
+		keys, err := loadKeys(*keysFile)
+		if err != nil {
+			log.Fatalf("spequlosd: %v", err)
+		}
+		km := service.NewKeyManager(service.LimitsFromPolicy(policy, *rate))
+		for _, k := range keys {
+			km.Add(k)
+		}
+		// The Scheduler's module-to-module calls loop back through this
+		// same gated listener; give them a process-local unlimited service
+		// key so internal traffic is neither 401'd nor rate-limited.
+		svc := km.Issue("spequlosd", core.TierEnterprise)
+		svc.Unlimited = true
+		km.Add(svc)
+		infoClient.HTTP = service.KeyedClient(svc.Key)
+		creditClient.HTTP = service.KeyedClient(svc.Key)
+		oracleClient.HTTP = service.KeyedClient(svc.Key)
+		handler = km.Gate(handler)
+		log.Printf("spequlosd: gateway auth enabled (%d keys, %.0f req/s shared by tier weight)", len(keys), *rate)
+	}
 
 	stop := make(chan struct{})
 	go sched.Run(*period, stop)
@@ -92,9 +120,28 @@ func main() {
 	}
 
 	log.Printf("spequlosd listening on %s (strategy %s, demo DG %v/batch)", *addr, st.Label(), *demoDur)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatalf("spequlosd: %v", err)
 	}
+}
+
+// loadKeys reads a JSON API-key file: an array of service.APIKey objects.
+func loadKeys(path string) ([]service.APIKey, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var keys []service.APIKey
+	if err := json.NewDecoder(f).Decode(&keys); err != nil {
+		return nil, fmt.Errorf("key file %s: %w", path, err)
+	}
+	for _, k := range keys {
+		if _, err := core.ParseTier(string(k.Tier)); err != nil {
+			return nil, fmt.Errorf("key file %s: key %q: %w", path, k.User, err)
+		}
+	}
+	return keys, nil
 }
 
 // loadState restores module state from JSON snapshots (the MySQL role in

@@ -47,6 +47,19 @@ func (t Tier) OrFree() Tier {
 	return t
 }
 
+// Rank orders tiers by privilege: enterprise 2, premium 1, free (and
+// untiered) 0. The service gateway uses it to reject requests claiming a
+// class above the caller's credential.
+func (t Tier) Rank() int {
+	switch t {
+	case TierEnterprise:
+		return 2
+	case TierPremium:
+		return 1
+	}
+	return 0
+}
+
 // TierSpec is the contract of one service class.
 type TierSpec struct {
 	// Weight is the tier's share of contended fleet slots, relative to the

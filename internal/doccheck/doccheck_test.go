@@ -17,6 +17,8 @@ var auditedDirs = []string{
 	"internal/middleware",  // DG middleware model
 	"internal/experiments", // figure/table builders
 	"internal/emul",        // emulation + conformance
+	"internal/httprr",      // HTTP record/replay harness
+	"internal/loadgen",     // socket-level load harness
 	"internal/cloud",       // cloud drivers
 	"internal/bot",         // workload classes
 	"internal/trace",       // availability traces

@@ -12,6 +12,7 @@ import (
 	"spequlos/internal/cloud"
 	"spequlos/internal/core"
 	"spequlos/internal/middleware"
+	"spequlos/internal/service"
 	"spequlos/internal/sim"
 )
 
@@ -239,15 +240,30 @@ func (d *Driver) List() []cloud.InstanceInfo {
 	return out
 }
 
-// Handler exposes the gateway over HTTP — the wire shape of the DGGateway
-// interface, so the Scheduler module talks to the (simulated) DG server
-// exactly as it would to a remote BOINC/XWHEP status adapter:
+// WireGateway is the server side of the DG gateway wire format: everything
+// NewGatewayHandler needs to answer the Scheduler's HTTP adapter. SimDG
+// implements it against the simulation; internal/loadgen implements it
+// against a wall-clock fake for socket-level load runs.
+type WireGateway interface {
+	service.BatchProgressGateway
+	service.WorkerStatusGateway
+}
+
+// maxWireBody caps request bodies on the gateway wire: the largest
+// legitimate payload (a progress-batch query for thousands of batch IDs) is
+// far below 1 MiB.
+const maxWireBody = 1 << 20
+
+// NewGatewayHandler serves the DG gateway wire format over HTTP for any
+// WireGateway — the wire shape of the DGGateway interface, so the Scheduler
+// module talks to the DG server exactly as it would to a remote BOINC/XWHEP
+// status adapter:
 //
 //	GET  /progress/{batch}  → middleware.Progress
 //	POST /progress-batch    {"ids": [...]} → {"progress": {id: Progress}}
 //	GET  /busy/{instance}   → {"busy": bool}
 //	GET  /worker-url        → {"worker_url": string}
-func (g *SimDG) Handler() http.Handler {
+func NewGatewayHandler(gw WireGateway) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/progress-batch", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -255,11 +271,11 @@ func (g *SimDG) Handler() http.Handler {
 			return
 		}
 		var req progressBatchRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWireBody)).Decode(&req); err != nil {
 			httpErr(w, http.StatusBadRequest, err)
 			return
 		}
-		progress, err := g.ProgressBatch(req.IDs)
+		progress, err := gw.ProgressBatch(req.IDs)
 		if err != nil {
 			httpErr(w, http.StatusBadGateway, err)
 			return
@@ -272,7 +288,7 @@ func (g *SimDG) Handler() http.Handler {
 			httpErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
 			return
 		}
-		p, err := g.Progress(id)
+		p, err := gw.Progress(id)
 		if err != nil {
 			httpErr(w, http.StatusBadGateway, err)
 			return
@@ -285,7 +301,7 @@ func (g *SimDG) Handler() http.Handler {
 			httpErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
 			return
 		}
-		busy, err := g.InstanceBusy(id)
+		busy, err := gw.InstanceBusy(id)
 		if err != nil {
 			httpErr(w, http.StatusNotFound, err)
 			return
@@ -293,13 +309,17 @@ func (g *SimDG) Handler() http.Handler {
 		httpJSON(w, http.StatusOK, map[string]bool{"busy": busy})
 	})
 	mux.HandleFunc("/worker-url", func(w http.ResponseWriter, r *http.Request) {
-		httpJSON(w, http.StatusOK, map[string]string{"worker_url": g.workerURL})
+		httpJSON(w, http.StatusOK, map[string]string{"worker_url": gw.WorkerURL()})
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
 	})
 	return mux
 }
+
+// Handler exposes the gateway over HTTP (see NewGatewayHandler for the
+// routes).
+func (g *SimDG) Handler() http.Handler { return NewGatewayHandler(g) }
 
 // progressBatchRequest/Reply are the wire shape of the aggregated progress
 // query (POST /progress-batch).

@@ -1,0 +1,165 @@
+package loadgen
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spequlos/internal/core"
+)
+
+// testConfig is a CI-sized run: short enough for the race detector on a
+// shared runner, long enough that every request class fires, free-tier
+// bursts hit the rate limiter, and at least one monitor tick lands.
+func testConfig() Config {
+	cfg := Smoke()
+	cfg.Duration = 1500 * time.Millisecond
+	cfg.BatchDuration = 700 * time.Millisecond
+	cfg.RatePerSec = 300
+	return cfg
+}
+
+// TestRunSmoke drives the full gated stack over real loopback sockets and
+// pins the PR's acceptance bar: zero unexpected errors, free-tier 429s
+// under burst, and an untouched enterprise tier.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket load run in -short mode")
+	}
+	rep, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Summary())
+
+	if rep.UnexpectedErrors != 0 {
+		t.Errorf("unexpected errors %d, want 0; samples: %v", rep.UnexpectedErrors, rep.ErrorSamples)
+	}
+	if rep.Requests == 0 || rep.Overall.Count == 0 {
+		t.Fatalf("no admitted traffic measured: %+v", rep)
+	}
+	if rep.Overall.P50Ms > rep.Overall.P99Ms || rep.Overall.P99Ms > rep.Overall.MaxMs {
+		t.Errorf("non-monotone quantiles: %+v", rep.Overall)
+	}
+
+	// Tiered throttling end-to-end: the unpaced free tier must draw 429s
+	// while the paced enterprise tier rides under its weight-derived limit.
+	if rep.ThrottledByTier[string(core.TierFree)] == 0 {
+		t.Errorf("free tier drew no 429s under burst: %+v", rep.ThrottledByTier)
+	}
+	if n := rep.ThrottledByTier[string(core.TierEnterprise)]; n != 0 {
+		t.Errorf("enterprise tier was throttled %d times, want 0", n)
+	}
+	if rep.Throttled429 == 0 || rep.GateStats.Throttled == 0 {
+		t.Errorf("throttling not visible in gate stats: %+v", rep.GateStats)
+	}
+	if rep.GateStats.Unauthorized != 0 {
+		t.Errorf("harness clients drew %d 401s, want 0", rep.GateStats.Unauthorized)
+	}
+
+	// The QoS loop actually turned: orders were placed and the monitor
+	// ticked over the socket.
+	if rep.BatchesOrdered == 0 {
+		t.Error("no QoS batches ordered")
+	}
+	if rep.Ticks == 0 {
+		t.Error("no scheduler ticks ran")
+	}
+	for _, op := range []string{"status", "credit", "order", "progress", "tick"} {
+		if rep.Latency[op].Count == 0 {
+			t.Errorf("request class %q saw no admitted traffic", op)
+		}
+	}
+}
+
+// TestRunRejectsBadConfig pins the argument validation.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+// TestQuantile pins the nearest-rank quantile on a known sample set.
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 5}, {0.95, 10}, {0.99, 10}, {0.10, 1}} {
+		if got := quantile(s, tc.q); got != tc.want {
+			t.Errorf("quantile(%.2f) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(nil) = %g, want 0", got)
+	}
+}
+
+// TestStatsOfEmpty pins the zero-sample LatencyStats.
+func TestStatsOfEmpty(t *testing.T) {
+	if s := statsOf(nil); s.Count != 0 || s.P99Ms != 0 {
+		t.Errorf("statsOf(nil) = %+v", s)
+	}
+}
+
+// TestGate pins the CI gate: errors always fail, p99 fails only beyond
+// factor× baseline with the noise floor applied.
+func TestGate(t *testing.T) {
+	base := Baseline{P99Ms: 10}
+	ok := &Report{Overall: LatencyStats{P99Ms: 25}}
+	if err := ok.Gate(base, 3, 50); err != nil {
+		t.Errorf("within-floor run failed gate: %v", err)
+	}
+	slow := &Report{Overall: LatencyStats{P99Ms: 80}}
+	if err := slow.Gate(base, 3, 50); err == nil {
+		t.Error("slow run passed gate")
+	} else if !strings.Contains(err.Error(), "p99") {
+		t.Errorf("gate error does not name p99: %v", err)
+	}
+	errored := &Report{UnexpectedErrors: 2, ErrorSamples: []string{"order: HTTP 500"}}
+	if err := errored.Gate(base, 3, 50); err == nil {
+		t.Error("errored run passed gate")
+	} else if !strings.Contains(err.Error(), "HTTP 500") {
+		t.Errorf("gate error drops the sample: %v", err)
+	}
+	inf := &Report{Overall: LatencyStats{P99Ms: math.Inf(1)}}
+	if err := inf.Gate(base, 3, 50); err == nil {
+		t.Error("infinite p99 passed gate")
+	}
+}
+
+// TestBenchRoundTrip pins the BENCH_load.json trajectory accumulation:
+// each write keeps history and appends one record.
+func TestBenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	r1 := &Report{Profile: "smoke", Clients: 8, Overall: LatencyStats{P99Ms: 4.2}}
+	if err := WriteBench(path, "run-1", r1); err != nil {
+		t.Fatal(err)
+	}
+	r2 := &Report{Profile: "stress", Clients: 32, Overall: LatencyStats{P99Ms: 9.9}}
+	if err := WriteBench(path, "run-2", r2); err != nil {
+		t.Fatal(err)
+	}
+	br, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Profile != "stress" || br.Overall.P99Ms != 9.9 {
+		t.Errorf("headline is not the latest run: %+v", br.Report)
+	}
+	if len(br.Trajectory) != 2 {
+		t.Fatalf("trajectory has %d records, want 2", len(br.Trajectory))
+	}
+	if br.Trajectory[0].Label != "run-1" || br.Trajectory[1].Label != "run-2" {
+		t.Errorf("trajectory order wrong: %+v", br.Trajectory)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.P99Ms != 9.9 {
+		t.Errorf("baseline p99 %g, want 9.9", b.P99Ms)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"spequlos/internal/cloud"
 	"spequlos/internal/core"
 )
 
@@ -63,4 +65,60 @@ func FuzzInformationHandler(f *testing.F) {
 			t.Fatalf("non-JSON response %q for %q", rec.Body.Bytes(), body)
 		}
 	})
+}
+
+// FuzzQoSRequest fuzzes the Scheduler's QoS registration endpoint — the
+// gated front door of the whole service — together with the trusted tier
+// header the auth gate stamps. Whatever the body or header, the handler
+// must never panic, never answer a bare 200, and always return JSON.
+func FuzzQoSRequest(f *testing.F) {
+	f.Add([]byte(`{"user":"u","batch_id":"b","env_key":"e","size":10,"credits":5,"tier":"free","provider":"ec2","image":"img"}`), "")
+	f.Add([]byte(`{bogus`), "free")
+	f.Add([]byte(``), "premium")
+	f.Add([]byte(`null`), "enterprise")
+	f.Add([]byte(`{"tier":"platinum"}`), "")
+	f.Add([]byte(`{"tier":"enterprise"}`), "free")
+	f.Add([]byte(`{"batch_id":"b","credits":1e309}`), "")
+	f.Add([]byte(`{"batch_id":"b","unknown_field":1}`), "free")
+	f.Add([]byte(`[{"batch_id":"b"}]`), "")
+	f.Add([]byte(`{"user":"","batch_id":"","size":-1}`), "not-a-tier")
+	f.Fuzz(func(t *testing.T, body []byte, tierHdr string) {
+		sched := NewSchedulerService(NewInformationClient(""), NewCreditClient(""),
+			NewOracleClient(""), cloud.DefaultRegistry(), &scriptedDG{size: 1})
+		req := httptest.NewRequest(http.MethodPost, "/qos", bytes.NewReader(body))
+		if tierHdr != "" {
+			// Simulate the gate's stamped auth context (it is trusted input to
+			// the handler, but must still never cause a panic).
+			req.Header.Set(AuthTierHeader, tierHdr)
+			req.Header.Set(AuthUserHeader, "fuzz-user")
+		}
+		rec := httptest.NewRecorder()
+		sched.ServeHTTP(rec, req)
+		if rec.Code == http.StatusOK {
+			t.Fatalf("POST /qos answered 200 for %q (want 201 or an error)", body)
+		}
+		if rec.Body.Len() == 0 {
+			t.Fatalf("empty response body for %q (status %d)", body, rec.Code)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("non-JSON response %q for %q", rec.Body.Bytes(), body)
+		}
+	})
+}
+
+// TestQoSBodyCap pins the request-size ceiling: a body beyond the 1 MiB
+// decoder cap is rejected outright instead of being buffered.
+func TestQoSBodyCap(t *testing.T) {
+	sched := NewSchedulerService(NewInformationClient(""), NewCreditClient(""),
+		NewOracleClient(""), cloud.DefaultRegistry(), &scriptedDG{size: 1})
+	huge := `{"user":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	req := httptest.NewRequest(http.MethodPost, "/qos", strings.NewReader(huge))
+	rec := httptest.NewRecorder()
+	sched.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", rec.Code)
+	}
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("non-JSON response %q", rec.Body.Bytes())
+	}
 }

@@ -162,6 +162,30 @@ func (s *SchedulerService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		if _, err := core.ParseTier(req.Tier); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("scheduler: %w", err))
+			return
+		}
+		// Behind an auth gate (see auth.go) the request runs as the key's
+		// identity: an absent body tier/user inherits the credential's, and a
+		// body tier outranking the credential's is rejected — a free key
+		// cannot order enterprise service.
+		if kt := r.Header.Get(AuthTierHeader); kt != "" {
+			keyTier, err := core.ParseTier(kt)
+			if err == nil {
+				reqTier := core.Tier(req.Tier)
+				if req.Tier == "" {
+					req.Tier = string(keyTier.OrFree())
+				} else if reqTier.Rank() > keyTier.Rank() {
+					writeErr(w, http.StatusForbidden, fmt.Errorf(
+						"scheduler: tier %s exceeds the API key's tier %s", reqTier, keyTier.OrFree()))
+					return
+				}
+			}
+			if req.User == "" {
+				req.User = r.Header.Get(AuthUserHeader)
+			}
+		}
 		if err := s.RegisterQoS(req); err != nil {
 			writeErr(w, http.StatusConflict, err)
 			return

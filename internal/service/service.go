@@ -30,10 +30,17 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// readJSON decodes the request body into v.
+// maxBodyBytes caps request bodies across every module: the wire format's
+// largest legitimate payload (a progress-batch reply for thousands of
+// batches) is far under 1 MiB, and an unbounded decoder lets one client
+// stream gigabytes into a module's memory.
+const maxBodyBytes = 1 << 20
+
+// readJSON decodes the request body into v, rejecting bodies over
+// maxBodyBytes.
 func readJSON(r *http.Request, v any) error {
 	defer r.Body.Close()
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("service: bad request body: %w", err)
